@@ -1,0 +1,35 @@
+// Command iscasm exports a built-in benchmark as assembly text, the format
+// every other tool accepts via -asm. Useful as a starting point for
+// authoring custom workloads:
+//
+//	iscasm -bench crc > crc.asm
+//	$EDITOR crc.asm
+//	iscgen -asm crc.asm -o crc.mdes
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iscasm: ")
+	bench := flag.String("bench", "", "benchmark to export (required)")
+	flag.Parse()
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	b, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := asm.Write(os.Stdout, b.Program); err != nil {
+		log.Fatal(err)
+	}
+}

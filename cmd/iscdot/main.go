@@ -1,0 +1,96 @@
+// Command iscdot renders a benchmark block's dataflow graph in Graphviz
+// DOT form, optionally shading the operations that would be absorbed into
+// custom instructions — the paper's Figure 2 view of a kernel.
+//
+// Usage:
+//
+//	iscdot -bench blowfish -block feistel16 > bf.dot
+//	iscdot -bench sha -budget 15 -highlight | dot -Tpng > sha.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/mdes"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iscdot: ")
+	bench := flag.String("bench", "", "benchmark name")
+	asmPath := flag.String("asm", "", "read the program from an assembly file instead of -bench")
+	block := flag.String("block", "", "block to render (default: hottest)")
+	highlight := flag.Bool("highlight", true, "shade ops claimed by selected CFUs")
+	budget := flag.Float64("budget", 15, "area budget for CFU selection when highlighting")
+	mdesPath := flag.String("mdes", "", "render the CFU patterns of this MDES instead of a program DFG")
+	flag.Parse()
+
+	if *mdesPath != "" {
+		f, err := os.Open(*mdesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := mdes.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range m.CFUs {
+			if err := graph.WriteDOT(os.Stdout, m.CFUs[i].Name, m.CFUs[i].Shape); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	b, err := workloads.Load(*bench, *asmPath)
+	if err != nil {
+		flag.Usage()
+		log.Fatal(err)
+	}
+	blk := b.Program.Blocks[0]
+	if *block != "" {
+		if blk = b.Program.Block(*block); blk == nil {
+			log.Fatalf("no block %q; have:", *block)
+		}
+	}
+
+	var shade ir.OpSet
+	if *highlight {
+		res, err := core.Customize(b.Program, core.Config{Budget: *budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Map the customized block's claimed ops back onto the original
+		// block: ops absent from the transformed block were absorbed.
+		var out *ir.Block
+		for i, ob := range b.Program.Blocks {
+			if ob == blk {
+				out = res.Program.Blocks[i]
+			}
+		}
+		surviving := map[int]bool{}
+		for _, op := range out.Ops {
+			surviving[op.ID] = true
+		}
+		shade = make(ir.OpSet)
+		for i, op := range blk.Ops {
+			if !surviving[op.ID] {
+				shade.Add(i)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s/%s: %d of %d ops absorbed into CFUs\n",
+			b.Name, blk.Name, len(shade), len(blk.Ops))
+	}
+
+	if err := ir.WriteDOT(os.Stdout, blk, shade); err != nil {
+		log.Fatal(err)
+	}
+}

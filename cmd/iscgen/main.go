@@ -1,0 +1,115 @@
+// Command iscgen is the hardware compiler: it runs dataflow-graph
+// exploration, candidate combination and CFU selection on one benchmark and
+// emits the machine description (MDES) the software compiler consumes.
+//
+// Usage:
+//
+//	iscgen -bench blowfish -budget 15 -o blowfish.mdes.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/cfu"
+	"repro/internal/core"
+	"repro/internal/hdl"
+	"repro/internal/hwlib"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iscgen: ")
+	bench := flag.String("bench", "", "benchmark name; one of: "+fmt.Sprint(workloads.Names()))
+	asmPath := flag.String("asm", "", "read the program from an assembly file instead of -bench")
+	budget := flag.Float64("budget", 15, "CFU area budget in adder units")
+	mode := flag.String("mode", "greedy", "selection heuristic: greedy, value, or dp")
+	out := flag.String("o", "", "output MDES path (default stdout)")
+	maxIn := flag.Int("maxin", 5, "max CFU input ports")
+	maxOut := flag.Int("maxout", 3, "max CFU output ports")
+	hwPath := flag.String("hwlib", "", "JSON hardware library (default: built-in 0.18u calibration)")
+	dumpHW := flag.Bool("dumphwlib", false, "print the built-in hardware library as JSON and exit")
+	verilog := flag.String("verilog", "", "also emit the selected CFUs as Verilog to this path")
+	flag.Parse()
+
+	if *dumpHW {
+		if err := hwlib.Default().WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *bench == "" && *asmPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	b, err := loadProgram(*bench, *asmPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{Budget: *budget}
+	cfg.Constraints.MaxInputs = *maxIn
+	cfg.Constraints.MaxOutputs = *maxOut
+	cfg.Lib, err = hwlib.LoadOrDefault(openFile, *hwPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *mode {
+	case "greedy":
+		cfg.SelectMode = cfu.GreedyRatio
+	case "value":
+		cfg.SelectMode = cfu.GreedyValue
+	case "dp":
+		cfg.SelectMode = cfu.Knapsack
+	default:
+		log.Fatalf("unknown selection mode %q", *mode)
+	}
+
+	m, err := core.GenerateMDES(b.Program, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "%s (%s): %d CFUs, %.2f adders of %.0f budget\n",
+		b.Name, b.Domain, len(m.CFUs), m.TotalArea, m.Budget)
+	for _, c := range m.CFUs {
+		fmt.Fprintf(os.Stderr, "  #%-2d %-40s area %6.2f  lat %d  est value %.0f  variants %d\n",
+			c.Priority, c.Name, c.Area, c.Latency, c.EstimatedValue, len(c.Variants))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := m.WriteJSON(w); err != nil {
+		log.Fatal(err)
+	}
+
+	if *verilog != "" {
+		f, err := os.Create(*verilog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := hdl.EmitMDES(f, m, cfg.Lib); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Verilog datapaths to %s\n", *verilog)
+	}
+}
+
+// loadProgram resolves the -bench / -asm flags to a benchmark.
+func loadProgram(bench, asmPath string) (*workloads.Benchmark, error) {
+	return workloads.Load(bench, asmPath)
+}
+
+func openFile(path string) (io.ReadCloser, error) { return os.Open(path) }

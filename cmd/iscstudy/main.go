@@ -1,0 +1,133 @@
+// Command iscstudy regenerates the remaining evaluation artifacts of the
+// paper: Figure 3 (exploration statistics), Figures 8 and 9 (subsumed
+// subgraphs and wildcards at the 15-adder point), the infinite-resource
+// limit study, and the ablations the text discusses (selection heuristics
+// and guide-function weightings).
+//
+// Usage:
+//
+//	iscstudy -all
+//	iscstudy -fig3 -fig89
+//	iscstudy -limit -ablate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iscstudy: ")
+	all := flag.Bool("all", false, "run every study")
+	fig3 := flag.Bool("fig3", false, "exploration statistics (Figure 3)")
+	fig89 := flag.Bool("fig89", false, "subsumed/wildcard study (Figures 8 and 9)")
+	limit := flag.Bool("limit", false, "infinite-resource limit study")
+	ablate := flag.Bool("ablate", false, "selection and guide-function ablations")
+	multifunc := flag.Bool("multifunc", false, "multi-function CFU study (paper's future work)")
+	unroll := flag.Bool("unroll", false, "loop-unrolling study")
+	memcfu := flag.Bool("memcfu", false, "relaxed-memory CFU study (paper's future work)")
+	budget := flag.Float64("budget", 15, "cost point for the extension study")
+	flag.Parse()
+
+	if *all {
+		*fig3, *fig89, *limit, *ablate, *multifunc, *unroll, *memcfu = true, true, true, true, true, true, true
+	}
+	if !*fig3 && !*fig89 && !*limit && !*ablate && !*multifunc && !*unroll && !*memcfu {
+		flag.Usage()
+		os.Exit(2)
+	}
+	h := experiment.NewHarness()
+
+	if *fig3 {
+		fmt.Println(experiment.Underline("Figure 3: design space exploration"))
+		st, err := h.Fig3("blowfish", 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderFig3(os.Stdout, st)
+		fmt.Println()
+	}
+
+	if *fig89 {
+		fmt.Println(experiment.Underline("Figures 8 and 9: CFU extensions at the 15-adder point"))
+		for _, d := range workloads.DomainNames() {
+			rows, err := h.ExtensionStudy(d, *budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiment.RenderExtensions(os.Stdout, "Domain: "+d, rows)
+			fmt.Println()
+		}
+	}
+
+	if *limit {
+		fmt.Println(experiment.Underline("Limit study"))
+		rows, err := h.LimitStudy(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderLimit(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if *multifunc {
+		fmt.Println(experiment.Underline("Multi-function CFUs (§6 future work)"))
+		for _, d := range workloads.DomainNames() {
+			rows, err := h.MultiFunctionStudy(d, *budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiment.RenderMultiFunction(os.Stdout, *budget, rows)
+			fmt.Println()
+		}
+	}
+
+	if *memcfu {
+		fmt.Println(experiment.Underline("Relaxed memory restriction (§6 future work)"))
+		rows, err := h.MemoryCFUStudy(nil, *budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.RenderMemoryCFU(os.Stdout, *budget, rows)
+		fmt.Println()
+	}
+
+	if *unroll {
+		fmt.Println(experiment.Underline("Loop unrolling study"))
+		for _, app := range []string{"gsmdecode", "url", "crc"} {
+			rows, err := h.UnrollStudy(app, []int{1, 2, 4, 8}, *budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiment.RenderUnroll(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+
+	if *ablate {
+		fmt.Println(experiment.Underline("Ablation: CFU selection heuristics (§3.4)"))
+		for _, app := range []string{"blowfish", "rijndael", "sha"} {
+			pts, err := h.SelectionAblation(app, experiment.Budgets1to15())
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiment.RenderAblation(os.Stdout, app, pts)
+			fmt.Println()
+		}
+		fmt.Println(experiment.Underline("Ablation: guide-function weights (§3.2)"))
+		for _, app := range []string{"blowfish", "sha"} {
+			rows, err := h.GuideWeightAblation(app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiment.RenderGuideAblation(os.Stdout, app, rows)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command iscsweep regenerates Figure 7 of the paper: speedup versus CFU
+// area budget (1..15 adders), for every benchmark compiled natively on its
+// own CFUs (left half) and cross-compiled on the CFUs of the other
+// applications in its domain (right half).
+//
+// Usage:
+//
+//	iscsweep                 # native curves, all four domains
+//	iscsweep -cross          # cross-compilation curves too
+//	iscsweep -domain audio   # restrict to one domain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iscsweep: ")
+	domain := flag.String("domain", "", "restrict to one domain (encryption, network, audio, image)")
+	cross := flag.Bool("cross", false, "also produce the cross-compilation curves")
+	maxBudget := flag.Int("maxbudget", 15, "largest area budget in adders")
+	verify := flag.Bool("verify", false, "verify every compile in the functional simulator")
+	flag.Parse()
+
+	budgets := make([]float64, *maxBudget)
+	for i := range budgets {
+		budgets[i] = float64(i + 1)
+	}
+
+	domains := workloads.DomainNames()
+	if *domain != "" {
+		domains = []string{*domain}
+	}
+
+	h := experiment.NewHarness()
+	h.Verify = *verify
+	for _, d := range domains {
+		native, err := h.Fig7Native(d, budgets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Figure 7 (native): %s speedup vs CFU cost", d)
+		experiment.RenderSweeps(os.Stdout, title, native)
+		fmt.Println()
+		if *cross {
+			crossRes, err := h.Fig7Cross(d, budgets)
+			if err != nil {
+				log.Fatal(err)
+			}
+			title = fmt.Sprintf("Figure 7 (cross): %s apps on each other's CFUs", d)
+			experiment.RenderSweeps(os.Stdout, title, crossRes)
+			fmt.Println()
+		}
+	}
+}

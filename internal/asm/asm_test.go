@@ -1,0 +1,220 @@
+package asm_test
+
+import (
+	"bytes"
+	. "repro/internal/asm"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestRoundTripAllBenchmarks(t *testing.T) {
+	for _, bench := range workloads.All() {
+		var buf bytes.Buffer
+		if err := Write(&buf, bench.Program); err != nil {
+			t.Fatalf("%s: write: %v", bench.Name, err)
+		}
+		text1 := buf.String()
+		got, err := Parse(strings.NewReader(text1))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", bench.Name, err)
+		}
+		if got.Name != bench.Program.Name || len(got.Blocks) != len(bench.Program.Blocks) {
+			t.Fatalf("%s: structure mismatch", bench.Name)
+		}
+		// Text fixpoint: writing the parsed program reproduces the text.
+		buf.Reset()
+		if err := Write(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != text1 {
+			t.Fatalf("%s: round trip not a fixpoint", bench.Name)
+		}
+		// Semantic equality block by block.
+		for i := range got.Blocks {
+			if err := sim.Equivalent(bench.Program.Blocks[i], got.Blocks[i], 6, uint32(i+2)); err != nil {
+				t.Fatalf("%s block %s: %v", bench.Name, got.Blocks[i].Name, err)
+			}
+		}
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	src := `
+program demo
+; a comment
+block main weight 100 succs exit,main
+  %0 = add r1, #5
+  %1 = xor %0, #0xff -> r2
+  stw r3, %1
+  brcond %4        ; forward reference
+  ; wait, terminators must be last; use a value op instead
+`
+	// The above intentionally has a branch before op %4 which doesn't
+	// exist: expect an error mentioning the undefined reference or the
+	// terminator position.
+	_, err := Parse(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	src := `program fwd
+block b weight 1
+  %0 = add %1, #1 -> r2
+  %1 = xor r1, #3
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.NewState(1)
+	st.Regs[ir.R(1)] = 10
+	if err := sim.RunBlock(p.Blocks[0], st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[ir.R(2)] != (10^3)+1 {
+		t.Fatalf("r2 = %d", st.Regs[ir.R(2)])
+	}
+}
+
+func TestParseNegativeAndHexImmediates(t *testing.T) {
+	src := `program imm
+block b weight 1
+  %0 = add r1, #-5 -> r2
+  %1 = and r1, #0xDEADBEEF -> r3
+  %2 = sub r1, #4294967295 -> r4
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := p.Blocks[0].Ops
+	if ops[0].Args[1].Val != uint32(0xFFFFFFFB) {
+		t.Fatalf("neg imm = %#x", ops[0].Args[1].Val)
+	}
+	if ops[1].Args[1].Val != 0xDEADBEEF {
+		t.Fatalf("hex imm = %#x", ops[1].Args[1].Val)
+	}
+}
+
+func TestParseRetWithoutValue(t *testing.T) {
+	src := `program r
+block b weight 1
+  ret
+`
+	if _, err := Parse(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+		wantLine           int
+	}{
+		{"no program", "block b weight 1\n", "before program", 1},
+		{"bad opcode", "program p\nblock b weight 1\n  %0 = frobnicate r1, r2\n", "unknown opcode", 3},
+		{"bad weight", "program p\nblock b weight moo\n", "bad weight", 2},
+		{"bad register", "program p\nblock b weight 1\n  %0 = add rX, #1\n", "bad register", 3},
+		{"bad operand", "program p\nblock b weight 1\n  %0 = add q1, #1\n", "bad operand", 3},
+		{"arity", "program p\nblock b weight 1\n  %0 = add r1\n", "takes 2 operand", 3},
+		{"undefined ref", "program p\nblock b weight 1\n  %0 = add %9, #1\n", "undefined op", 3},
+		{"duplicate id", "program p\nblock b weight 1\n  %0 = add r1, #1\n  %0 = add r1, #2\n", "duplicate op id", 4},
+		{"missing id", "program p\nblock b weight 1\n  add r1, #1\n", "produces a result", 3},
+		{"id on store", "program p\nblock b weight 1\n  %0 = stw r1, r2\n", "produces no result", 3},
+		{"dest on store", "program p\nblock b weight 1\n  stw r1, r2 -> r3\n", "produces no result", 3},
+		{"duplicate block", "program p\nblock b weight 1\nblock b weight 2\n", "duplicate block", 3},
+		{"op before block", "program p\n  %0 = add r1, #1\n", "before any block", 2},
+		{"bad imm", "program p\nblock b weight 1\n  %0 = add r1, #zz\n", "bad immediate", 3},
+		{"residx noncustom", "program p\nblock b weight 1\n  %0 = add r1, #1\n  %1 = add %0.1, #1\n", "custom ops", 4},
+		{"duplicate program", "program p\nprogram q\n", "duplicate program", 2},
+		{"empty", "", "no program header", 0},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.src))
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+		if pe, ok := err.(*ParseError); ok && tc.wantLine > 0 && pe.Line != tc.wantLine {
+			t.Errorf("%s: error on line %d, want %d", tc.name, pe.Line, tc.wantLine)
+		}
+	}
+}
+
+func TestParsedIDsDontCollideWithInsertedOps(t *testing.T) {
+	src := `program p
+block b weight 1
+  %7 = add r1, #1
+  %2 = xor %7, #3 -> r2
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Blocks[0]
+	op := b.Emit(ir.Move, b.Imm(0))
+	if op.ID <= 7 {
+		t.Fatalf("inserted op got ID %d, colliding with parsed IDs", op.ID)
+	}
+}
+
+func TestWriteRejectsCustomOps(t *testing.T) {
+	p := ir.NewProgram("c")
+	b := p.AddBlock("b", 1)
+	b.EmitCustom(&ir.CustomInst{Name: "x", NumOut: 1}, b.Arg(ir.R(1)))
+	if err := Write(&bytes.Buffer{}, p); err == nil {
+		t.Fatal("expected error for custom op")
+	}
+}
+
+func TestOpcodesList(t *testing.T) {
+	ops := Opcodes()
+	if len(ops) == 0 {
+		t.Fatal("empty opcode list")
+	}
+	seen := map[string]bool{}
+	for _, o := range ops {
+		if seen[o] {
+			t.Fatalf("duplicate opcode %q", o)
+		}
+		seen[o] = true
+	}
+	for _, want := range []string{"add", "xor", "ldw", "brcond", "select"} {
+		if !seen[want] {
+			t.Errorf("missing opcode %q", want)
+		}
+	}
+	if seen["custom"] {
+		t.Error("custom must not be parseable")
+	}
+}
+
+func TestParseValidatesSemanticRules(t *testing.T) {
+	// Double definition of a register must be rejected by validation.
+	src := `program p
+block b weight 1
+  %0 = add r1, #1 -> r2
+  %1 = add r1, #2 -> r2
+`
+	if _, err := Parse(strings.NewReader(src)); err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("err = %v", err)
+	}
+	// Cyclic reference must be rejected.
+	src2 := `program p
+block b weight 1
+  %0 = add %1, #1
+  %1 = add %0, #2 -> r2
+`
+	if _, err := Parse(strings.NewReader(src2)); err == nil {
+		t.Fatal("cycle not rejected")
+	}
+}

@@ -1,0 +1,47 @@
+package asm_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+// ExampleParse shows the assembly grammar: a profiled block computing a
+// hash round, with an op reference, a register, and immediates.
+func ExampleParse() {
+	src := `
+program example
+block hot weight 5000
+  %0 = rotl r1, #5          ; rotate the hash state
+  %1 = xor %0, r2 -> r3     ; mix in the data word, live-out in r3
+  %2 = and %1, #0xffff -> r4
+`
+	p, err := asm.Parse(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("program:", p.Name)
+	fmt.Println("ops in hot block:", len(p.Block("hot").Ops))
+	// Output:
+	// program: example
+	// ops in hot block: 3
+}
+
+// ExampleWrite round-trips a program through the textual form.
+func ExampleWrite() {
+	src := "program p\nblock b weight 1\n  %0 = add r1, #2 -> r2\n"
+	p, err := asm.Parse(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	if err := asm.Write(os.Stdout, p); err != nil {
+		panic(err)
+	}
+	// Output:
+	// program p
+	//
+	// block b weight 1
+	//   %0 = add r1, #0x2 -> r2
+}

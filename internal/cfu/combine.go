@@ -1,0 +1,285 @@
+// Package cfu implements the back half of the paper's hardware compiler:
+// grouping discovered candidate subgraphs into candidate custom function
+// units (CFUs), analyzing subsumption and wildcard relationships between
+// them, and selecting the set of CFUs that best spends an area budget.
+package cfu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+)
+
+// Occurrence is one place in the program where a CFU's pattern appears.
+type Occurrence struct {
+	Block    *ir.Block
+	DFG      *ir.DFG
+	Set      ir.OpSet
+	NodeToOp []int
+	Weight   float64
+}
+
+// CFU is a candidate custom function unit: an equivalence class of
+// discovered subgraphs plus its hardware estimates.
+type CFU struct {
+	ID    int
+	Shape *graph.Shape
+	// Area is the unit's die area in adder units; Latency its pipelined
+	// whole-cycle latency.
+	Area    float64
+	Latency int
+	// SavedPerExec is the estimated cycles saved each time one occurrence
+	// executes on the CFU instead of as primitive operations.
+	SavedPerExec float64
+	// Occurrences are all discovered instances, possibly overlapping.
+	Occurrences []Occurrence
+	// Value is the profile-weighted cycle-savings estimate over a maximal
+	// disjoint subset of occurrences.
+	Value float64
+	// Subsumes / SubsumedBy record the identity-input relationship: this
+	// CFU can execute every pattern of the CFUs it subsumes.
+	Subsumes   []int
+	SubsumedBy []int
+	// Wildcards lists CFUs identical to this one except for one node whose
+	// opcode falls in the same hardware class, so both can share one
+	// multi-function unit.
+	Wildcards []int
+	// Variants are the subsumed-subgraph patterns this CFU's hardware can
+	// also execute, for the compiler's generalized matching.
+	Variants []*graph.Shape
+}
+
+// Name returns the CFU's mnemonic, e.g. "cfu3<shl-and-add>".
+func (c *CFU) Name() string { return fmt.Sprintf("cfu%d<%s>", c.ID, c.Shape.Mnemonic()) }
+
+// CombineOptions tunes the combination stage.
+type CombineOptions struct {
+	// MaxVariants caps per-CFU subsumed-variant generation (0 = 64).
+	MaxVariants int
+	// MinSavedPerExec drops CFUs that save fewer cycles than this per
+	// execution (default 0: keep anything that saves at least one cycle
+	// per execution after rounding).
+	MinSavedPerExec float64
+}
+
+// Combine groups the explorer's candidates into candidate CFUs, estimates
+// their value from profile weights, and records subsumption and wildcard
+// relationships.
+func Combine(res *explore.Result, lib *hwlib.Library, opts CombineOptions) []*CFU {
+	var cfus []*CFU
+	bySig := make(map[string][]*CFU)
+
+	for _, cand := range res.Candidates {
+		shape, nodeToOp, _ := graph.FromOpSet(cand.DFG, cand.Set)
+		occ := Occurrence{
+			Block: cand.Block, DFG: cand.DFG, Set: cand.Set,
+			NodeToOp: nodeToOp, Weight: cand.Block.Weight,
+		}
+		sig := shape.Signature()
+		var home *CFU
+		for _, c := range bySig[sig] {
+			if graph.Isomorphic(c.Shape, shape) {
+				home = c
+				break
+			}
+		}
+		if home == nil {
+			home = &CFU{
+				ID:      len(cfus),
+				Shape:   shape,
+				Area:    shape.Area(lib),
+				Latency: shape.Cycles(lib),
+			}
+			home.SavedPerExec = savedPerExec(shape, lib)
+			cfus = append(cfus, home)
+			bySig[sig] = append(bySig[sig], home)
+		}
+		home.Occurrences = append(home.Occurrences, occ)
+	}
+
+	// Drop CFUs that save nothing: a one-op CFU executes in the same cycle
+	// count as the op itself.
+	kept := cfus[:0]
+	for _, c := range cfus {
+		if c.SavedPerExec > opts.MinSavedPerExec && c.SavedPerExec > 0 {
+			c.ID = len(kept)
+			kept = append(kept, c)
+		}
+	}
+	cfus = kept
+
+	for _, c := range cfus {
+		c.Value = estimateValue(c, nil)
+	}
+	return cfus
+}
+
+// AnalyzeRelationships generates subsumed variants and records the
+// subsumption and wildcard links for every CFU. The selection stage does
+// this lazily for the handful of CFUs it picks; call this eagerly only when
+// the whole candidate list must carry its relationships (reports, tests).
+func AnalyzeRelationships(cfus []*CFU, lib *hwlib.Library, opts CombineOptions) {
+	for _, c := range cfus {
+		ensureVariants(c, opts.MaxVariants)
+	}
+	rel := newRelationIndex(cfus)
+	for _, c := range cfus {
+		rel.subsumptionFor(c)
+		rel.wildcardsFor(c, lib)
+	}
+}
+
+func ensureVariants(c *CFU, maxVariants int) {
+	if c.Variants == nil {
+		c.Variants = graph.SubsumedVariants(c.Shape, maxVariants)
+		if c.Variants == nil {
+			c.Variants = []*graph.Shape{}
+		}
+	}
+}
+
+// relationIndex buckets candidates so per-CFU relationship discovery does
+// not scan the whole list.
+type relationIndex struct {
+	cfus     []*CFU
+	bySig    map[string][]*CFU
+	byDims   map[[3]int][]*CFU
+	subsDone map[int]bool
+	wildDone map[int]bool
+}
+
+func newRelationIndex(cfus []*CFU) *relationIndex {
+	r := &relationIndex{
+		cfus:     cfus,
+		bySig:    make(map[string][]*CFU),
+		byDims:   make(map[[3]int][]*CFU),
+		subsDone: make(map[int]bool),
+		wildDone: make(map[int]bool),
+	}
+	for _, c := range cfus {
+		r.bySig[c.Shape.Signature()] = append(r.bySig[c.Shape.Signature()], c)
+		k := [3]int{len(c.Shape.Nodes), c.Shape.NumInputs, len(c.Shape.Outputs)}
+		r.byDims[k] = append(r.byDims[k], c)
+	}
+	return r
+}
+
+// subsumptionFor records which candidates a's hardware subsumes: every
+// candidate whose pattern is isomorphic to one of a's variants.
+func (r *relationIndex) subsumptionFor(a *CFU) {
+	if r.subsDone[a.ID] {
+		return
+	}
+	r.subsDone[a.ID] = true
+	ensureVariants(a, 0)
+	for _, v := range a.Variants {
+		for _, b := range r.bySig[v.Signature()] {
+			if b == a || len(b.Shape.Nodes) >= len(a.Shape.Nodes) {
+				continue
+			}
+			if graph.Isomorphic(v, b.Shape) {
+				if !containsInt(a.Subsumes, b.ID) {
+					a.Subsumes = append(a.Subsumes, b.ID)
+					b.SubsumedBy = append(b.SubsumedBy, a.ID)
+				}
+			}
+		}
+	}
+}
+
+// wildcardsFor records a's wildcard partners: candidates of identical
+// structure differing at one node whose opcodes share a hardware class.
+func (r *relationIndex) wildcardsFor(a *CFU, lib *hwlib.Library) {
+	if r.wildDone[a.ID] {
+		return
+	}
+	r.wildDone[a.ID] = true
+	k := [3]int{len(a.Shape.Nodes), a.Shape.NumInputs, len(a.Shape.Outputs)}
+	for _, b := range r.byDims[k] {
+		if b == a || containsInt(a.Wildcards, b.ID) {
+			continue
+		}
+		na, nb, ok := graph.WildcardPair(a.Shape, b.Shape)
+		if !ok {
+			continue
+		}
+		ca := lib.ClassOf(a.Shape.Nodes[na].Code)
+		cb := lib.ClassOf(b.Shape.Nodes[nb].Code)
+		if ca == hwlib.ClassNone || ca != cb {
+			continue
+		}
+		a.Wildcards = append(a.Wildcards, b.ID)
+		b.Wildcards = append(b.Wildcards, a.ID)
+	}
+	sort.Ints(a.Wildcards)
+}
+
+// savedPerExec estimates cycles saved per execution: the subgraph's ops
+// each occupy the single integer issue slot for a cycle in the baseline,
+// while the CFU issues once and completes in its pipelined latency.
+func savedPerExec(s *graph.Shape, lib *hwlib.Library) float64 {
+	return float64(len(s.Nodes)) - float64(s.Cycles(lib))
+}
+
+// estimateValue computes the profile-weighted savings over a maximal
+// disjoint subset of the CFU's occurrences, skipping ops claimed by
+// already-selected CFUs. Disjointness prevents double counting when the
+// same operations appear in overlapping occurrences.
+func estimateValue(c *CFU, claimed map[opKey]bool) float64 {
+	used := make(map[opKey]bool)
+	total := 0.0
+	for _, occ := range liveOccurrences(c, claimed, used) {
+		total += occ.Weight * c.SavedPerExec
+	}
+	return total
+}
+
+// liveOccurrences returns a maximal set of mutually disjoint occurrences
+// that avoid claimed ops. The used map, when non-nil, accumulates the ops
+// of returned occurrences (callers reuse it to claim them).
+func liveOccurrences(c *CFU, claimed, used map[opKey]bool) []Occurrence {
+	if used == nil {
+		used = make(map[opKey]bool)
+	}
+	var out []Occurrence
+	for _, occ := range c.Occurrences {
+		ok := true
+		for i := range occ.Set {
+			k := opKey{occ.Block, i}
+			if claimed[k] || used[k] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := range occ.Set {
+			used[opKey{occ.Block, i}] = true
+		}
+		out = append(out, occ)
+	}
+	return out
+}
+
+type opKey struct {
+	block *ir.Block
+	op    int
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RoundArea quantizes an area to selection granularity.
+func RoundArea(a float64) float64 { return math.Round(a*100) / 100 }

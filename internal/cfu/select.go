@@ -1,0 +1,229 @@
+package cfu
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/hwlib"
+)
+
+// SelectMode chooses the selection heuristic.
+type SelectMode int
+
+const (
+	// GreedyRatio picks the best value/cost candidate each round and
+	// re-estimates remaining values (the paper's default, Figure 4).
+	GreedyRatio SelectMode = iota
+	// GreedyValue picks the best raw value each round; the paper observes
+	// it beats GreedyRatio at high budgets and loses at low ones.
+	GreedyValue
+	// Knapsack solves a 0/1 knapsack by dynamic programming over the
+	// statically estimated values (the paper's slower ablation, reported
+	// ~5-10% better on average than greedy).
+	Knapsack
+)
+
+func (m SelectMode) String() string {
+	switch m {
+	case GreedyRatio:
+		return "greedy-ratio"
+	case GreedyValue:
+		return "greedy-value"
+	case Knapsack:
+		return "knapsack-dp"
+	}
+	return "unknown"
+}
+
+// SelectOptions configures CFU selection.
+type SelectOptions struct {
+	// Budget is the total die area allowed, in adder units.
+	Budget float64
+	Mode   SelectMode
+	// SubsumedDiscount is the cost multiplier applied to a CFU once a
+	// selected CFU subsumes it (its hardware already exists; only decode
+	// overhead remains). Default 0.05.
+	SubsumedDiscount float64
+	// WildcardDiscount is the cost multiplier applied to a CFU once a
+	// selected CFU is its wildcard partner (most of the datapath is
+	// shared). Default 0.25.
+	WildcardDiscount float64
+	// Lib supplies opcode classes for wildcard detection (nil = default).
+	Lib *hwlib.Library
+	// MaxVariants caps variant generation for selected CFUs (0 = 64).
+	MaxVariants int
+}
+
+// Selection is the result of the selection stage: CFUs in replacement
+// priority order (the compiler replaces in the same order so the iterative
+// value estimates stay accurate).
+type Selection struct {
+	CFUs      []*CFU
+	TotalArea float64
+	// EstimatedSavings is the selector's own weighted-cycle estimate.
+	EstimatedSavings float64
+}
+
+// Select spends the area budget on candidate CFUs.
+func Select(cfus []*CFU, opts SelectOptions) *Selection {
+	if opts.SubsumedDiscount == 0 {
+		opts.SubsumedDiscount = 0.05
+	}
+	if opts.WildcardDiscount == 0 {
+		opts.WildcardDiscount = 0.25
+	}
+	if opts.Lib == nil {
+		opts.Lib = hwlib.Default()
+	}
+	switch opts.Mode {
+	case Knapsack:
+		return selectKnapsack(cfus, opts)
+	default:
+		return selectGreedy(cfus, opts)
+	}
+}
+
+func selectGreedy(cfus []*CFU, opts SelectOptions) *Selection {
+	sel := &Selection{}
+	rel := newRelationIndex(cfus)
+	remaining := opts.Budget
+	claimed := make(map[opKey]bool)
+	picked := make(map[int]bool)
+	// costMul holds the current discount for shared hardware.
+	costMul := make(map[int]float64, len(cfus))
+	for _, c := range cfus {
+		costMul[c.ID] = 1.0
+	}
+	cost := func(c *CFU) float64 {
+		a := c.Area * costMul[c.ID]
+		if a < 0.05 {
+			a = 0.05
+		}
+		return a
+	}
+	for {
+		var best *CFU
+		var bestScore float64
+		for _, c := range cfus {
+			if picked[c.ID] || cost(c) > remaining+1e-9 {
+				continue
+			}
+			// The paper selects CFUs as if they had no subsumed subgraphs
+			// or wildcards: value counts only the CFU's own occurrences.
+			v := estimateValue(c, claimed)
+			if v <= 0 {
+				continue
+			}
+			var score float64
+			if opts.Mode == GreedyValue {
+				score = v
+			} else {
+				score = v / cost(c)
+			}
+			if best == nil || score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if best == nil {
+			break
+		}
+		picked[best.ID] = true
+		sel.CFUs = append(sel.CFUs, best)
+		sel.TotalArea += cost(best)
+		remaining -= cost(best)
+
+		// Claim the ops of the occurrences this CFU will cover, so other
+		// candidates stop counting them (Figure 4's update step).
+		used := make(map[opKey]bool)
+		occs := liveOccurrences(best, claimed, used)
+		for _, occ := range occs {
+			sel.EstimatedSavings += occ.Weight * best.SavedPerExec
+			for i := range occ.Set {
+				claimed[opKey{occ.Block, i}] = true
+			}
+		}
+
+		// Hardware sharing: subsumed CFUs and wildcard partners become
+		// nearly free once this unit exists. Relationship discovery is
+		// lazy — only selected CFUs pay for variant generation.
+		ensureVariants(best, opts.MaxVariants)
+		rel.subsumptionFor(best)
+		rel.wildcardsFor(best, opts.Lib)
+		for _, id := range best.Subsumes {
+			if m := opts.SubsumedDiscount; m < costMul[id] {
+				costMul[id] = m
+			}
+		}
+		for _, id := range best.Wildcards {
+			if m := opts.WildcardDiscount; m < costMul[id] {
+				costMul[id] = m
+			}
+		}
+	}
+	return sel
+}
+
+// selectKnapsack solves a 0/1 knapsack over static values by dynamic
+// programming, quantizing area to 1/20 adder. Unlike the greedy loop it
+// ignores the interaction between overlapping candidates, so the result is
+// post-processed: CFUs are ordered by ratio and the estimate recomputed
+// with claiming, mirroring how the paper's DP variant still replaces
+// greedily in the compiler.
+func selectKnapsack(cfus []*CFU, opts SelectOptions) *Selection {
+	const quantum = 0.05
+	capacity := int(math.Floor(opts.Budget/quantum + 1e-9))
+	if capacity <= 0 {
+		return &Selection{}
+	}
+	n := len(cfus)
+	w := make([]int, n)
+	v := make([]float64, n)
+	for i, c := range cfus {
+		w[i] = int(math.Ceil(c.Area / quantum))
+		if w[i] == 0 {
+			w[i] = 1
+		}
+		v[i] = c.Value
+	}
+	// dp[cap] = best value; keep[i][cap] via bitset rows.
+	dp := make([]float64, capacity+1)
+	keep := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		keep[i] = make([]bool, capacity+1)
+		for c := capacity; c >= w[i]; c-- {
+			if cand := dp[c-w[i]] + v[i]; cand > dp[c] {
+				dp[c] = cand
+				keep[i][c] = true
+			}
+		}
+	}
+	// Reconstruct.
+	var chosen []*CFU
+	c := capacity
+	for i := n - 1; i >= 0; i-- {
+		if keep[i][c] {
+			chosen = append(chosen, cfus[i])
+			c -= w[i]
+		}
+	}
+	// Priority order: ratio, as the compiler replaces greedily.
+	sort.Slice(chosen, func(a, b int) bool {
+		ra := chosen[a].Value / math.Max(chosen[a].Area, 0.05)
+		rb := chosen[b].Value / math.Max(chosen[b].Area, 0.05)
+		return ra > rb
+	})
+	sel := &Selection{CFUs: chosen}
+	claimed := make(map[opKey]bool)
+	for _, cf := range chosen {
+		ensureVariants(cf, 0)
+		sel.TotalArea += cf.Area
+		used := make(map[opKey]bool)
+		for _, occ := range liveOccurrences(cf, claimed, used) {
+			sel.EstimatedSavings += occ.Weight * cf.SavedPerExec
+			for i := range occ.Set {
+				claimed[opKey{occ.Block, i}] = true
+			}
+		}
+	}
+	return sel
+}

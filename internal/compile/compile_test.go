@@ -1,0 +1,377 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/cfu"
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+	"repro/internal/mdes"
+	"repro/internal/sim"
+)
+
+// shlAndAdd is the pattern add(and(shl(in0, imm0), in1), in2).
+func shlAndAdd() *graph.Shape {
+	return &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.Shl, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}, {Kind: graph.RefImm, Index: 0}}},
+			{Code: ir.And, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 0}, {Kind: graph.RefInput, Index: 1}}},
+			{Code: ir.Add, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 1}, {Kind: graph.RefInput, Index: 2}}},
+		},
+		NumInputs: 3, NumImms: 1, Outputs: []int{2},
+	}
+}
+
+func mdesWith(shapes ...*graph.Shape) *mdes.MDES {
+	m := &mdes.MDES{Source: "test"}
+	for i, s := range shapes {
+		m.CFUs = append(m.CFUs, mdes.CFUSpec{
+			Name:     s.Mnemonic(),
+			Priority: i,
+			Area:     s.Area(hwlib.Default()),
+			Latency:  s.Cycles(hwlib.Default()),
+			Shape:    s,
+			Variants: graph.SubsumedVariants(s, 0),
+		})
+	}
+	return m
+}
+
+// kernelProgram builds a block with two shl-and-add occurrences.
+func kernelProgram() *ir.Program {
+	p := ir.NewProgram("kern")
+	b := p.AddBlock("hot", 1000)
+	x, y, z := b.Arg(ir.R(1)), b.Arg(ir.R(2)), b.Arg(ir.R(3))
+	v1 := b.Add(b.And(b.Shl(x, b.Imm(2)), y), z)
+	v2 := b.Add(b.And(b.Shl(y, b.Imm(4)), z), x)
+	b.Def(ir.R(4), b.Xor(v1, v2))
+	return p
+}
+
+func TestCompileReplacesExactMatches(t *testing.T) {
+	p := kernelProgram()
+	out, rep, err := Compile(p, mdesWith(shlAndAdd()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactReplacements != 2 {
+		t.Fatalf("exact replacements = %d, want 2", rep.ExactReplacements)
+	}
+	customs := 0
+	for _, op := range out.Blocks[0].Ops {
+		if op.Code == ir.Custom {
+			customs++
+		}
+	}
+	if customs != 2 {
+		t.Fatalf("custom ops = %d, want 2", customs)
+	}
+	// The original program must be untouched.
+	for _, op := range p.Blocks[0].Ops {
+		if op.Code == ir.Custom {
+			t.Fatal("input program was modified")
+		}
+	}
+	if rep.Speedup <= 1 {
+		t.Fatalf("speedup = %v, want > 1", rep.Speedup)
+	}
+	if err := ir.Validate(out); err != nil {
+		t.Fatalf("output invalid: %v", err)
+	}
+}
+
+func TestCompilePreservesSemantics(t *testing.T) {
+	p := kernelProgram()
+	out, _, err := Compile(p, mdesWith(shlAndAdd()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Equivalent(p.Blocks[0], out.Blocks[0], 25, 1234); err != nil {
+		t.Fatalf("replacement changed semantics: %v", err)
+	}
+}
+
+func TestCompileReorderingScenario(t *testing.T) {
+	// Paper §4.2 / Figure 6: a successor of the matched subgraph appears
+	// before the subgraph's last predecessor in the linear order. The
+	// custom instruction must be placed after the last predecessor and the
+	// early successor moved after it.
+	p := ir.NewProgram("reorder")
+	b := p.AddBlock("b", 10)
+	x, y := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+	a := b.Add(x, b.Imm(1))  // 0: predecessor of member 1
+	m1 := b.Shl(a, b.Imm(2)) // 1: member
+	s := b.Or(m1, y)         // 2: successor of member, before pred 3
+	pr := b.Xor(y, b.Imm(3)) // 3: predecessor of member 4
+	m2 := b.And(m1, pr)      // 4: member
+	b.Def(ir.R(3), s)
+	b.Def(ir.R(4), m2)
+
+	pat := &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.Shl, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}, {Kind: graph.RefImm, Index: 0}}},
+			{Code: ir.And, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 0}, {Kind: graph.RefInput, Index: 1}}},
+		},
+		NumInputs: 2, NumImms: 1, Outputs: []int{0, 1},
+	}
+	out, rep, err := Compile(p, mdesWith(pat), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactReplacements != 1 {
+		t.Fatalf("replacements = %d, want 1", rep.ExactReplacements)
+	}
+	ops := out.Blocks[0].Ops
+	var custIdx, sIdx, prIdx int = -1, -1, -1
+	for i, op := range ops {
+		switch {
+		case op.Code == ir.Custom:
+			custIdx = i
+		case op.Code == ir.Or:
+			sIdx = i
+		case op.Code == ir.Xor:
+			prIdx = i
+		}
+	}
+	if custIdx < 0 || sIdx < 0 || prIdx < 0 {
+		t.Fatalf("ops missing after replacement: %v", ops)
+	}
+	if custIdx < prIdx {
+		t.Fatal("custom instruction placed before its last predecessor")
+	}
+	if sIdx < custIdx {
+		t.Fatal("successor of the match not moved after the custom op")
+	}
+	if err := sim.Equivalent(p.Blocks[0], out.Blocks[0], 25, 77); err != nil {
+		t.Fatalf("semantics broken by reordering: %v", err)
+	}
+	_ = s
+	_ = m2
+}
+
+func TestCompileVariantMatching(t *testing.T) {
+	// Program contains only shl-and (no final add): matched only when
+	// subsumed variants are enabled.
+	p := ir.NewProgram("variant")
+	b := p.AddBlock("b", 100)
+	x, y := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+	b.Def(ir.R(3), b.And(b.Shl(x, b.Imm(3)), y))
+
+	m := mdesWith(shlAndAdd())
+	_, repNo, err := Compile(p, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repNo.ExactReplacements+repNo.VariantReplacements != 0 {
+		t.Fatal("nothing should match exactly")
+	}
+	out, repYes, err := Compile(p, m, Options{UseVariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repYes.VariantReplacements != 1 {
+		t.Fatalf("variant replacements = %d, want 1", repYes.VariantReplacements)
+	}
+	if err := sim.Equivalent(p.Blocks[0], out.Blocks[0], 25, 5); err != nil {
+		t.Fatalf("variant semantics wrong: %v", err)
+	}
+}
+
+func TestCompileOpcodeClassMatching(t *testing.T) {
+	// Program has shl-and-SUB; CFU implements shl-and-ADD. Only matches
+	// under opcode classes, and must evaluate as SUB.
+	p := ir.NewProgram("classes")
+	b := p.AddBlock("b", 100)
+	x, y, z := b.Arg(ir.R(1)), b.Arg(ir.R(2)), b.Arg(ir.R(3))
+	b.Def(ir.R(4), b.Sub(b.And(b.Shl(x, b.Imm(2)), y), z))
+
+	m := mdesWith(shlAndAdd())
+	_, repNo, err := Compile(p, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repNo.ExactReplacements != 0 {
+		t.Fatal("exact match should fail on sub")
+	}
+	out, repYes, err := Compile(p, m, Options{UseOpcodeClasses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repYes.ExactReplacements != 1 {
+		t.Fatalf("class replacements = %d, want 1", repYes.ExactReplacements)
+	}
+	if err := sim.Equivalent(p.Blocks[0], out.Blocks[0], 25, 9); err != nil {
+		t.Fatalf("class-matched semantics wrong: %v", err)
+	}
+}
+
+func TestCompilePriorityOrdering(t *testing.T) {
+	// Two CFUs both match the same ops; the priority-0 CFU must win.
+	p := ir.NewProgram("prio")
+	b := p.AddBlock("b", 100)
+	x, y, z := b.Arg(ir.R(1)), b.Arg(ir.R(2)), b.Arg(ir.R(3))
+	b.Def(ir.R(4), b.Add(b.And(b.Shl(x, b.Imm(2)), y), z))
+
+	full := shlAndAdd()
+	prefix := &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.Shl, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}, {Kind: graph.RefImm, Index: 0}}},
+			{Code: ir.And, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 0}, {Kind: graph.RefInput, Index: 1}}},
+		},
+		NumInputs: 2, NumImms: 1, Outputs: []int{1},
+	}
+	m := mdesWith(full, prefix)
+	_, rep, err := Compile(p, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerCFU[full.Mnemonic()] != 1 {
+		t.Fatalf("priority CFU not used: %v", rep.PerCFU)
+	}
+	if rep.PerCFU[prefix.Mnemonic()] != 0 {
+		t.Fatalf("lower-priority CFU stole claimed ops: %v", rep.PerCFU)
+	}
+}
+
+func TestCompileCycleAccounting(t *testing.T) {
+	p := kernelProgram()
+	_, rep, err := Compile(p, mdesWith(shlAndAdd()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Blocks) != 1 {
+		t.Fatalf("block reports = %d", len(rep.Blocks))
+	}
+	br := rep.Blocks[0]
+	if br.CustomCycles >= br.BaseCycles {
+		t.Fatalf("custom %d >= base %d cycles", br.CustomCycles, br.BaseCycles)
+	}
+	wantSpeedup := float64(br.BaseCycles) / float64(br.CustomCycles)
+	if rep.Speedup != wantSpeedup {
+		t.Fatalf("speedup %v != per-block ratio %v", rep.Speedup, wantSpeedup)
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	// Explorer -> combine -> select -> MDES -> compile, with semantic
+	// verification of every block: the whole paper flow on one kernel.
+	p := ir.NewProgram("e2e")
+	b := p.AddBlock("hot", 10000)
+	x, y := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+	h := b.Xor(b.Rotl(x, b.Imm(5)), y)
+	g := b.Add(b.And(h, b.Imm(0xFFFF)), x)
+	b.Def(ir.R(3), b.Xor(g, b.Shr(h, b.Imm(3))))
+	c := p.AddBlock("cold", 10)
+	u := c.Arg(ir.R(1))
+	c.Def(ir.R(2), c.Add(u, c.Imm(1)))
+
+	lib := hwlib.Default()
+	res := explore.Explore(p, explore.DefaultConfig(lib))
+	cfus := cfu.Combine(res, lib, cfu.CombineOptions{})
+	sel := cfu.Select(cfus, cfu.SelectOptions{Budget: 10})
+	if len(sel.CFUs) == 0 {
+		t.Fatal("nothing selected")
+	}
+	m := mdes.FromSelection(p.Name, 10, sel)
+	out, rep, err := Compile(p, m, Options{UseVariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactReplacements == 0 {
+		t.Fatal("no replacements in hot block")
+	}
+	if rep.Speedup <= 1 {
+		t.Fatalf("speedup = %v", rep.Speedup)
+	}
+	for i := range p.Blocks {
+		if err := sim.Equivalent(p.Blocks[i], out.Blocks[i], 20, uint32(i+1)); err != nil {
+			t.Fatalf("block %s: %v", p.Blocks[i].Name, err)
+		}
+	}
+}
+
+func TestCompileWithMemoryAndBranches(t *testing.T) {
+	// Loads/stores/branches around the match must survive replacement.
+	p := ir.NewProgram("mem")
+	b := p.AddBlock("b", 100)
+	base := b.Arg(ir.R(1))
+	x := b.Load(base)
+	v := b.Add(b.And(b.Shl(x, b.Imm(2)), b.Arg(ir.R(2))), b.Arg(ir.R(3)))
+	b.Store(base, v)
+	b.BranchIf(b.CmpEq(v, b.Imm(0)))
+	out, rep, err := Compile(p, mdesWith(shlAndAdd()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactReplacements != 1 {
+		t.Fatalf("replacements = %d", rep.ExactReplacements)
+	}
+	// Terminator still last.
+	ops := out.Blocks[0].Ops
+	if !ops[len(ops)-1].Code.IsBranch() {
+		t.Fatal("terminator not last after replacement")
+	}
+	if err := sim.Equivalent(p.Blocks[0], out.Blocks[0], 25, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileWithOptimize(t *testing.T) {
+	// Duplicate subexpressions: with Optimize, CSE unifies them so one CFU
+	// occurrence covers what would otherwise be two partial matches; the
+	// result must stay semantically equal to the ORIGINAL program.
+	p := ir.NewProgram("opt")
+	b := p.AddBlock("b", 100)
+	x, y, z := b.Arg(ir.R(1)), b.Arg(ir.R(2)), b.Arg(ir.R(3))
+	e1 := b.Add(b.And(b.Shl(x, b.Imm(2)), y), z)
+	e2 := b.Add(b.And(b.Shl(x, b.Imm(2)), y), z) // duplicate
+	b.Def(ir.R(4), b.Xor(e1, e2))
+	out, rep, err := Compile(p, mdesWith(shlAndAdd()), Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactReplacements != 1 {
+		t.Fatalf("replacements = %d, want 1 after CSE", rep.ExactReplacements)
+	}
+	if err := sim.Equivalent(p.Blocks[0], out.Blocks[0], 20, 3); err != nil {
+		t.Fatalf("optimized compile changed semantics: %v", err)
+	}
+	// Unoptimized, both duplicates are replaced independently.
+	_, rep2, err := Compile(p, mdesWith(shlAndAdd()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ExactReplacements != 2 {
+		t.Fatalf("unoptimized replacements = %d, want 2", rep2.ExactReplacements)
+	}
+}
+
+func TestCompileMultiOutputCFU(t *testing.T) {
+	// CFU with two outputs: shl escapes to an external xor.
+	p := ir.NewProgram("multi")
+	b := p.AddBlock("b", 100)
+	x, y := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+	sh := b.Shl(x, b.Imm(3))
+	an := b.And(sh, y)
+	b.Def(ir.R(3), an)
+	b.Def(ir.R(4), b.Xor(sh, b.Imm(0xFF)))
+	pat := &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.Shl, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}, {Kind: graph.RefImm, Index: 0}}},
+			{Code: ir.And, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 0}, {Kind: graph.RefInput, Index: 1}}},
+		},
+		NumInputs: 2, NumImms: 1, Outputs: []int{0, 1},
+	}
+	out, rep, err := Compile(p, mdesWith(pat), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactReplacements != 1 {
+		t.Fatalf("replacements = %d", rep.ExactReplacements)
+	}
+	if err := sim.Equivalent(p.Blocks[0], out.Blocks[0], 25, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package core ties the whole system together behind the paper's two-step
+// flow: a hardware compiler that turns a profiled application into a set of
+// custom function units (an MDES), and a retargetable software compiler
+// that exploits any MDES on any application.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfu"
+	"repro/internal/compile"
+	"repro/internal/explore"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mdes"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the end-to-end flow. The zero value uses the
+// paper's defaults everywhere.
+type Config struct {
+	// Lib is the hardware library (nil = hwlib.Default()).
+	Lib *hwlib.Library
+	// Machine is the baseline VLIW (nil = machine.Default4Wide()).
+	Machine *machine.Desc
+	// Constraints bound individual CFUs (zero = 5 inputs / 3 outputs).
+	Constraints explore.Constraints
+	// Budget is the total CFU die area in adder units (0 = 15, the
+	// paper's largest sweep point).
+	Budget float64
+	// SelectMode picks the selection heuristic (default greedy
+	// value/cost).
+	SelectMode cfu.SelectMode
+	// UseVariants enables subsumed-subgraph matching in the compiler.
+	UseVariants bool
+	// UseOpcodeClasses enables wildcard (opcode-class) matching.
+	UseOpcodeClasses bool
+	// MultiFunction adds merged multi-function CFUs (wildcard pairs
+	// generalized to opcode-class nodes) to the candidate pool before
+	// selection — the paper's proposed future work.
+	MultiFunction bool
+	// Optimize runs CSE and dead-code elimination before matching; see
+	// compile.Options.Optimize.
+	Optimize bool
+	// Verify cross-checks every transformed block against the original in
+	// the functional simulator.
+	Verify bool
+	// Fanout overrides the exploration fanout policy (nil = default).
+	Fanout explore.FanoutPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lib == nil {
+		c.Lib = hwlib.Default()
+	}
+	if c.Machine == nil {
+		c.Machine = machine.Default4Wide()
+	}
+	if c.Constraints == (explore.Constraints{}) {
+		c.Constraints = explore.DefaultConstraints()
+	}
+	if c.Budget == 0 {
+		c.Budget = 15
+	}
+	return c
+}
+
+// Result is the outcome of a full customization run.
+type Result struct {
+	// MDES is the generated machine description.
+	MDES *mdes.MDES
+	// Candidates is the full candidate CFU list before selection.
+	Candidates []*cfu.CFU
+	// Program is the application recompiled with custom instructions.
+	Program *ir.Program
+	// Report carries the cycle accounting and speedup.
+	Report *compile.Report
+}
+
+// Customize runs the complete flow of the paper on one application:
+// dataflow-graph exploration, candidate combination, CFU selection, MDES
+// generation, and compilation of the application onto its own extended
+// machine.
+func Customize(p *ir.Program, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := ir.Validate(p); err != nil {
+		return nil, fmt.Errorf("core: input program: %w", err)
+	}
+	m, cands, err := generate(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out, rep, err := CompileWith(p, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{MDES: m, Candidates: cands, Program: out, Report: rep}, nil
+}
+
+// GenerateMDES runs only the hardware compiler: profiled application in,
+// prioritized CFU machine description out.
+func GenerateMDES(p *ir.Program, cfg Config) (*mdes.MDES, error) {
+	cfg = cfg.withDefaults()
+	if err := ir.Validate(p); err != nil {
+		return nil, fmt.Errorf("core: input program: %w", err)
+	}
+	m, _, err := generate(p, cfg)
+	return m, err
+}
+
+func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
+	ecfg := explore.DefaultConfig(cfg.Lib)
+	ecfg.Constraints = cfg.Constraints
+	if cfg.Fanout != nil {
+		ecfg.Fanout = cfg.Fanout
+	}
+	res := explore.Explore(p, ecfg)
+	cands := cfu.Combine(res, cfg.Lib, cfu.CombineOptions{})
+	if cfg.MultiFunction {
+		cands = cfu.BuildMultiFunction(cands, cfg.Lib, 0)
+	}
+	sel := cfu.Select(cands, cfu.SelectOptions{
+		Budget: cfg.Budget,
+		Mode:   cfg.SelectMode,
+		Lib:    cfg.Lib,
+	})
+	return mdes.FromSelection(p.Name, cfg.Budget, sel), cands, nil
+}
+
+// CompileWith runs only the software compiler: application plus MDES in,
+// customized program and speedup report out.
+func CompileWith(p *ir.Program, m *mdes.MDES, cfg Config) (*ir.Program, *compile.Report, error) {
+	cfg = cfg.withDefaults()
+	out, rep, err := compile.Compile(p, m, compile.Options{
+		Machine:          cfg.Machine,
+		Lib:              cfg.Lib,
+		UseVariants:      cfg.UseVariants,
+		UseOpcodeClasses: cfg.UseOpcodeClasses,
+		Optimize:         cfg.Optimize,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Verify {
+		for i := range p.Blocks {
+			if err := sim.Equivalent(p.Blocks[i], out.Blocks[i], 12, uint32(17*i+3)); err != nil {
+				return nil, nil, fmt.Errorf("core: verification of block %s: %w", p.Blocks[i].Name, err)
+			}
+		}
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// randomProgram builds a pseudo-random but valid program: a mix of ALU
+// chains, loads, stores, selects and a terminator, with reconvergence and
+// shared subexpressions — the shapes that stress matching, replacement and
+// reordering.
+func randomProgram(seed uint64, blocks, opsPerBlock int) *ir.Program {
+	s := seed*2862933555777941757 + 3037000493
+	next := func(m int) int {
+		s = s*2862933555777941757 + 3037000493
+		return int((s >> 33) % uint64(m))
+	}
+	p := ir.NewProgram("fuzz")
+	for bi := 0; bi < blocks; bi++ {
+		b := p.AddBlock("b"+string(rune('a'+bi)), float64(100+next(1000)))
+		vals := []ir.Operand{b.Arg(ir.R(1)), b.Arg(ir.R(2)), b.Arg(ir.R(3))}
+		pick := func() ir.Operand { return vals[next(len(vals))] }
+		for i := 0; i < opsPerBlock; i++ {
+			var v ir.Operand
+			switch next(12) {
+			case 0:
+				v = b.Add(pick(), pick())
+			case 1:
+				v = b.Sub(pick(), pick())
+			case 2:
+				v = b.Xor(pick(), pick())
+			case 3:
+				v = b.And(pick(), b.Imm(uint32(next(1<<16))))
+			case 4:
+				v = b.Or(pick(), pick())
+			case 5:
+				v = b.Shl(pick(), b.Imm(uint32(next(31))))
+			case 6:
+				v = b.Shr(pick(), b.Imm(uint32(next(31))))
+			case 7:
+				v = b.Select(b.CmpLtS(pick(), pick()), pick(), pick())
+			case 8:
+				v = b.Rotl(pick(), b.Imm(uint32(next(31)+1)))
+			case 9:
+				// Load from a masked address to keep the map small.
+				v = b.Load(b.And(pick(), b.Imm(0xFFFC)))
+			case 10:
+				b.Store(b.And(pick(), b.Imm(0xFFFC)), pick())
+				continue
+			default:
+				v = b.Mul(pick(), pick())
+			}
+			vals = append(vals, v)
+		}
+		// A few live-outs plus a terminator.
+		b.Def(ir.R(10), vals[len(vals)-1])
+		b.Def(ir.R(11), vals[len(vals)/2])
+		if next(2) == 0 {
+			b.BranchIf(b.CmpNe(vals[len(vals)-1], b.Imm(0)))
+		}
+	}
+	return p
+}
+
+// TestFuzzCustomizeSemantics pushes dozens of random programs through the
+// entire flow — exploration, combination, selection, matching, replacement,
+// reordering — and verifies every block semantically. This is the
+// repository's strongest end-to-end correctness check.
+func TestFuzzCustomizeSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz loop skipped in -short mode")
+	}
+	seeds := 30
+	for seed := 0; seed < seeds; seed++ {
+		p := randomProgram(uint64(seed)*7919+13, 1+seed%3, 12+seed%20)
+		if err := ir.Validate(p); err != nil {
+			t.Fatalf("seed %d: generator produced invalid program: %v", seed, err)
+		}
+		cfg := Config{
+			Budget:           float64(1 + seed%15),
+			UseVariants:      seed%2 == 0,
+			UseOpcodeClasses: seed%3 == 0,
+			MultiFunction:    seed%4 == 0,
+			Verify:           true, // every block checked in the simulator
+		}
+		res, err := Customize(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Report.Speedup < 1.0-1e-9 {
+			// Customization must never slow a program down: CFUs issue on
+			// the int slot and replace at least as many ops as they cost.
+			t.Fatalf("seed %d: slowdown %v", seed, res.Report.Speedup)
+		}
+		if err := ir.Validate(res.Program); err != nil {
+			t.Fatalf("seed %d: transformed program invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestFuzzReplacementAgainstSim is a tighter loop over the riskiest part:
+// heavy reconvergent blocks with many overlapping matches, compiled at a
+// large budget with every generalization on, then checked op-for-op.
+func TestFuzzReplacementAgainstSim(t *testing.T) {
+	for seed := 100; seed < 120; seed++ {
+		p := randomProgram(uint64(seed), 1, 40)
+		res, err := Customize(p, Config{
+			Budget:           50,
+			UseVariants:      true,
+			UseOpcodeClasses: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range p.Blocks {
+			if err := sim.Equivalent(p.Blocks[i], res.Program.Blocks[i], 30, uint32(seed)); err != nil {
+				t.Fatalf("seed %d block %d: %v", seed, i, err)
+			}
+		}
+	}
+}

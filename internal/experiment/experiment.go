@@ -1,0 +1,676 @@
+// Package experiment contains the harnesses that regenerate every figure
+// of the paper's evaluation: performance versus area (Figure 7, native and
+// cross-compiled), the subsumed-subgraph/wildcard study (Figures 8 and 9),
+// the exploration statistics (Figure 3), the infinite-resource limit study,
+// and the selection/guide-function ablations discussed in the text.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfu"
+	"repro/internal/compile"
+	"repro/internal/explore"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mdes"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Budgets1to15 is the paper's area sweep: one through fifteen adders.
+func Budgets1to15() []float64 {
+	out := make([]float64, 15)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// Harness caches the expensive per-benchmark artifacts (exploration and
+// combination) so sweeps over budgets and cross-compiles reuse them.
+type Harness struct {
+	Lib     *hwlib.Library
+	Machine *machine.Desc
+	// Verify, when set, checks every compiled program against its source
+	// with the functional simulator and fails loudly on divergence.
+	Verify bool
+	// ExploreConfig overrides the default exploration (nil = default).
+	ExploreConfig *explore.Config
+	// SelectMode is the selection heuristic (default GreedyRatio).
+	SelectMode cfu.SelectMode
+
+	benches map[string]*workloads.Benchmark
+	cands   map[string][]*cfu.CFU
+}
+
+// NewHarness returns a harness with the paper's defaults.
+func NewHarness() *Harness {
+	return &Harness{
+		Lib:     hwlib.Default(),
+		Machine: machine.Default4Wide(),
+		benches: make(map[string]*workloads.Benchmark),
+		cands:   make(map[string][]*cfu.CFU),
+	}
+}
+
+// Benchmark returns (and caches) the named benchmark.
+func (h *Harness) Benchmark(name string) (*workloads.Benchmark, error) {
+	if b, ok := h.benches[name]; ok {
+		return b, nil
+	}
+	b, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	h.benches[name] = b
+	return b, nil
+}
+
+// Candidates runs exploration + combination for the named benchmark once.
+func (h *Harness) Candidates(name string) ([]*cfu.CFU, error) {
+	if c, ok := h.cands[name]; ok {
+		return c, nil
+	}
+	b, err := h.Benchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := explore.DefaultConfig(h.Lib)
+	if h.ExploreConfig != nil {
+		cfg = *h.ExploreConfig
+	}
+	res := explore.Explore(b.Program, cfg)
+	cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{})
+	h.cands[name] = cands
+	return cands, nil
+}
+
+// MDESAt selects CFUs for the named benchmark at the given area budget.
+func (h *Harness) MDESAt(name string, budget float64) (*mdes.MDES, error) {
+	cands, err := h.Candidates(name)
+	if err != nil {
+		return nil, err
+	}
+	sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode})
+	return mdes.FromSelection(name, budget, sel), nil
+}
+
+// CompileOn compiles application app against the CFUs generated for
+// cfuSource at the given budget and returns the speedup report.
+func (h *Harness) CompileOn(app, cfuSource string, budget float64, opts compile.Options) (*compile.Report, error) {
+	b, err := h.Benchmark(app)
+	if err != nil {
+		return nil, err
+	}
+	m, err := h.MDESAt(cfuSource, budget)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Machine == nil {
+		opts.Machine = h.Machine
+	}
+	if opts.Lib == nil {
+		opts.Lib = h.Lib
+	}
+	out, rep, err := compile.Compile(b.Program, m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: compile %s on %s: %w", app, cfuSource, err)
+	}
+	if h.Verify {
+		for i := range b.Program.Blocks {
+			if err := sim.Equivalent(b.Program.Blocks[i], out.Blocks[i], 10, uint32(31*i+7)); err != nil {
+				return nil, fmt.Errorf("experiment: %s on %s, block %s: %w",
+					app, cfuSource, b.Program.Blocks[i].Name, err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// SweepPoint is one (budget, speedup) sample of a Figure 7 curve.
+type SweepPoint struct {
+	Budget  float64
+	Speedup float64
+}
+
+// SweepResult is one curve of Figure 7.
+type SweepResult struct {
+	App       string
+	CFUSource string // equals App for native compiles
+	Points    []SweepPoint
+}
+
+// Label renders the curve name as the paper does ("rijndael-blowfish").
+func (s *SweepResult) Label() string {
+	if s.App == s.CFUSource {
+		return s.App
+	}
+	return s.App + "-" + s.CFUSource
+}
+
+// Sweep compiles app against cfuSource's CFUs across the budgets. The
+// compiler generalizations are enabled as in the paper's Figure 7 runs
+// (exact matching only; extensions are studied separately).
+func (h *Harness) Sweep(app, cfuSource string, budgets []float64) (*SweepResult, error) {
+	res := &SweepResult{App: app, CFUSource: cfuSource}
+	for _, budget := range budgets {
+		rep, err := h.CompileOn(app, cfuSource, budget, compile.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{Budget: budget, Speedup: rep.Speedup})
+	}
+	return res, nil
+}
+
+// Fig7Native produces the left half of Figure 7 for one domain: every
+// application in the domain compiled on its own CFUs.
+func (h *Harness) Fig7Native(domain string, budgets []float64) ([]*SweepResult, error) {
+	apps, err := domainApps(domain)
+	if err != nil {
+		return nil, err
+	}
+	var out []*SweepResult
+	for _, app := range apps {
+		r, err := h.Sweep(app, app, budgets)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig7Cross produces the right half of Figure 7 for one domain: every
+// application compiled on every *other* application's CFUs.
+func (h *Harness) Fig7Cross(domain string, budgets []float64) ([]*SweepResult, error) {
+	apps, err := domainApps(domain)
+	if err != nil {
+		return nil, err
+	}
+	var out []*SweepResult
+	for _, app := range apps {
+		for _, src := range apps {
+			if src == app {
+				continue
+			}
+			r, err := h.Sweep(app, src, budgets)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func domainApps(domain string) ([]string, error) {
+	var out []string
+	for _, b := range workloads.All() {
+		if b.Domain == domain {
+			out = append(out, b.Name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: unknown domain %q", domain)
+	}
+	return out, nil
+}
+
+// ExtensionResult is one bar group of Figures 8/9: the four speedups for
+// an (application, CFU set) pair at the 15-adder point.
+type ExtensionResult struct {
+	App, CFUSource string
+	// Exact: exact subgraph matches only (grey bar, left pair).
+	Exact float64
+	// ExactSubsumed: exact + subsumed subgraph matching (full left bar).
+	ExactSubsumed float64
+	// Wildcard: opcode-class hardware, exact matching (grey bar, right).
+	Wildcard float64
+	// WildcardSubsumed: opcode classes + subsumed matching (full right).
+	WildcardSubsumed float64
+}
+
+// Label renders "app-source" or just "app" for native pairs.
+func (e *ExtensionResult) Label() string {
+	if e.App == e.CFUSource {
+		return e.App
+	}
+	return e.App + "-" + e.CFUSource
+}
+
+// ExtensionStudy reproduces Figures 8 and 9 for one domain: all app x CFU
+// set combinations at the given cost point, under the four matching modes.
+func (h *Harness) ExtensionStudy(domain string, budget float64) ([]*ExtensionResult, error) {
+	apps, err := domainApps(domain)
+	if err != nil {
+		return nil, err
+	}
+	var out []*ExtensionResult
+	for _, app := range apps {
+		for _, src := range apps {
+			er := &ExtensionResult{App: app, CFUSource: src}
+			modes := []struct {
+				dst               *float64
+				variants, classes bool
+			}{
+				{&er.Exact, false, false},
+				{&er.ExactSubsumed, true, false},
+				{&er.Wildcard, false, true},
+				{&er.WildcardSubsumed, true, true},
+			}
+			for _, m := range modes {
+				rep, err := h.CompileOn(app, src, budget, compile.Options{
+					UseVariants:      m.variants,
+					UseOpcodeClasses: m.classes,
+				})
+				if err != nil {
+					return nil, err
+				}
+				*m.dst = rep.Speedup
+			}
+			out = append(out, er)
+		}
+	}
+	return out, nil
+}
+
+// LimitResult is one row of the limit study.
+type LimitResult struct {
+	App string
+	// At15 is the speedup at the paper's 15-adder point with the default
+	// 5-in/3-out port constraints.
+	At15 float64
+	// Unlimited is the speedup with effectively infinite area and ports.
+	Unlimited float64
+}
+
+// LimitStudy compares each benchmark's constrained speedup to the
+// infinite-resource ideal, as in §5's limit discussion.
+func (h *Harness) LimitStudy(apps []string) ([]*LimitResult, error) {
+	if apps == nil {
+		apps = workloads.Names()
+	}
+	var out []*LimitResult
+	for _, app := range apps {
+		rep15, err := h.CompileOn(app, app, 15, compile.Options{})
+		if err != nil {
+			return nil, err
+		}
+
+		// Unconstrained run. The candidate pool is the union of the
+		// default exploration and a relaxed one (generous ports, narrow
+		// fanout, high effort cap) that grows candidates toward
+		// whole-block size — the paper's 200-op, 80-port CFUs — without
+		// enumerating the now-enormous middle of the design space. The
+		// union guarantees the unconstrained pool is a superset of the
+		// constrained one.
+		b, err := h.Benchmark(app)
+		if err != nil {
+			return nil, err
+		}
+		relaxed := explore.DefaultConfig(h.Lib)
+		relaxed.MaxInputs = 96
+		relaxed.MaxOutputs = 48
+		relaxed.OvershootIO = 8
+		relaxed.Fanout = explore.UniformFanout(2)
+		relaxed.MaxExamined = 60000
+		res := explore.Explore(b.Program, relaxed)
+		base := explore.Explore(b.Program, explore.DefaultConfig(h.Lib))
+		res.Candidates = append(res.Candidates, base.Candidates...)
+
+		cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{})
+		sel := cfu.Select(cands, cfu.SelectOptions{Budget: 1e9, Mode: h.SelectMode, Lib: h.Lib})
+		m := mdes.FromSelection(app, 1e9, sel)
+		_, repInf, err := compile.Compile(b.Program, m, compile.Options{Machine: h.Machine, Lib: h.Lib})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &LimitResult{App: app, At15: rep15.Speedup, Unlimited: repInf.Speedup})
+	}
+	return out, nil
+}
+
+// ExplorationStats reproduces Figure 3: subgraphs examined by candidate
+// size for naive exponential growth versus the guide-function heuristic, on
+// one benchmark (the paper uses blowfish, whose 16-round straight-line
+// encrypt block is the "very large basic block" case). Both modes run
+// under the same examination budget; the naive search burns it on an
+// exponential wall of small subgraphs while the guided search reaches far
+// larger candidates.
+type ExplorationStats struct {
+	App          string
+	Budget       int
+	NaiveBySize  map[int]int
+	GuidedBySize map[int]int
+	NaiveTotal   int
+	GuidedTotal  int
+	// NaiveMaxSize and GuidedMaxSize are the largest candidate sizes each
+	// mode reached within the budget.
+	NaiveMaxSize, GuidedMaxSize int
+}
+
+// Fig3 runs both exploration modes over the benchmark with the same
+// examination budget (0 = 200000).
+func (h *Harness) Fig3(app string, budget int) (*ExplorationStats, error) {
+	b, err := h.Benchmark(app)
+	if err != nil {
+		return nil, err
+	}
+	if budget == 0 {
+		budget = 200000
+	}
+	gcfg := explore.DefaultConfig(h.Lib)
+	gcfg.MaxExamined = budget
+	guided := explore.Explore(b.Program, gcfg)
+	ncfg := explore.DefaultConfig(h.Lib)
+	ncfg.Naive = true
+	ncfg.MaxExamined = budget
+	naive := explore.Explore(b.Program, ncfg)
+
+	st := &ExplorationStats{
+		App:          app,
+		Budget:       budget,
+		NaiveBySize:  naive.Stats.BySize,
+		GuidedBySize: guided.Stats.BySize,
+		NaiveTotal:   naive.Stats.Examined,
+		GuidedTotal:  guided.Stats.Examined,
+	}
+	for s := range st.NaiveBySize {
+		if s > st.NaiveMaxSize {
+			st.NaiveMaxSize = s
+		}
+	}
+	for s := range st.GuidedBySize {
+		if s > st.GuidedMaxSize {
+			st.GuidedMaxSize = s
+		}
+	}
+	return st, nil
+}
+
+// CumulativeAtSize returns how many candidates of size <= k each mode
+// examined: the height of the Figure 3 curves at size k.
+func (st *ExplorationStats) CumulativeAtSize(k int) (naive, guided int) {
+	for s, n := range st.NaiveBySize {
+		if s <= k {
+			naive += n
+		}
+	}
+	for s, n := range st.GuidedBySize {
+		if s <= k {
+			guided += n
+		}
+	}
+	return naive, guided
+}
+
+// MultiFunctionResult compares one compile against a CFU set selected
+// without and with merged multi-function candidates in the pool (the
+// paper's future work). Native rows show that multi-function units rarely
+// help the application that shaped them (both parents fit the budget
+// anyway); cross rows show where generality pays.
+type MultiFunctionResult struct {
+	App, CFUSource string
+	Single, Multi  float64
+	MergedSelected int
+}
+
+// Label renders "app-source" or just "app" for native pairs.
+func (r *MultiFunctionResult) Label() string {
+	if r.App == r.CFUSource {
+		return r.App
+	}
+	return r.App + "-" + r.CFUSource
+}
+
+// multiFuncMDES selects CFUs for source with merged multi-function
+// candidates admitted, returning the MDES and how many merged units made
+// the cut.
+func (h *Harness) multiFuncMDES(source string, budget float64) (*mdes.MDES, int, error) {
+	cands, err := h.Candidates(source)
+	if err != nil {
+		return nil, 0, err
+	}
+	multi := cfu.BuildMultiFunction(cands, h.Lib, 0)
+	sel := cfu.Select(multi, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Lib: h.Lib})
+	merged := 0
+	for _, c := range sel.CFUs {
+		for _, n := range c.Shape.Nodes {
+			if n.Class != 0 {
+				merged++
+				break
+			}
+		}
+	}
+	return mdes.FromSelection(source, budget, sel), merged, nil
+}
+
+// MultiFunctionStudy measures multi-function CFU selection at one budget
+// point over a domain: every (app, CFU source) combination, native and
+// cross, compiled with exact matching against the single-function and the
+// multi-function hardware.
+func (h *Harness) MultiFunctionStudy(domain string, budget float64) ([]*MultiFunctionResult, error) {
+	apps, err := domainApps(domain)
+	if err != nil {
+		return nil, err
+	}
+	var out []*MultiFunctionResult
+	for _, src := range apps {
+		mMulti, merged, err := h.multiFuncMDES(src, budget)
+		if err != nil {
+			return nil, err
+		}
+		for _, app := range apps {
+			b, err := h.Benchmark(app)
+			if err != nil {
+				return nil, err
+			}
+			r := &MultiFunctionResult{App: app, CFUSource: src, MergedSelected: merged}
+			repS, err := h.CompileOn(app, src, budget, compile.Options{})
+			if err != nil {
+				return nil, err
+			}
+			r.Single = repS.Speedup
+			_, repM, err := compile.Compile(b.Program, mMulti,
+				compile.Options{Machine: h.Machine, Lib: h.Lib})
+			if err != nil {
+				return nil, err
+			}
+			r.Multi = repM.Speedup
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// MemoryCFUResult is one row of the relaxed-memory study.
+type MemoryCFUResult struct {
+	App string
+	// NoMem is the speedup under the paper's no-memory-ops restriction;
+	// WithMem allows loads inside CFUs (the future-work relaxation).
+	NoMem, WithMem float64
+	// MemCFUs counts selected CFUs containing loads.
+	MemCFUs int
+}
+
+// MemoryCFUStudy measures the paper's proposed memory-restriction
+// relaxation: native speedups with load-bearing CFUs allowed, verified in
+// the functional simulator. nil apps means all benchmarks.
+func (h *Harness) MemoryCFUStudy(apps []string, budget float64) ([]*MemoryCFUResult, error) {
+	if apps == nil {
+		apps = workloads.Names()
+	}
+	memLib := hwlib.MemoryEnabled()
+	var out []*MemoryCFUResult
+	for _, app := range apps {
+		base, err := h.CompileOn(app, app, budget, compile.Options{})
+		if err != nil {
+			return nil, err
+		}
+		b, err := h.Benchmark(app)
+		if err != nil {
+			return nil, err
+		}
+		cfg := explore.DefaultConfig(memLib)
+		res := explore.Explore(b.Program, cfg)
+		cands := cfu.Combine(res, memLib, cfu.CombineOptions{})
+		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Lib: memLib})
+		m := mdes.FromSelection(app, budget, sel)
+		r := &MemoryCFUResult{App: app, NoMem: base.Speedup}
+		for _, spec := range m.CFUs {
+			if spec.Shape.UsesMemory() {
+				r.MemCFUs++
+			}
+		}
+		outP, rep, err := compile.Compile(b.Program, m, compile.Options{Machine: h.Machine, Lib: memLib})
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.Program.Blocks {
+			if err := sim.Equivalent(b.Program.Blocks[i], outP.Blocks[i], 8, uint32(13*i+5)); err != nil {
+				return nil, fmt.Errorf("experiment: memcfu %s block %s: %w",
+					app, b.Program.Blocks[i].Name, err)
+			}
+		}
+		r.WithMem = rep.Speedup
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// UnrollResult is one row of the unrolling study: speedup with CFUs
+// generated and exploited on the program unrolled by Factor.
+type UnrollResult struct {
+	App     string
+	Factor  int
+	Speedup float64
+}
+
+// UnrollStudy measures how loop unrolling (which enlarges basic blocks and
+// exposes cross-iteration subgraphs, per §2's discussion of Goodwin and of
+// unrolling-created large blocks) changes the attainable speedup at one
+// budget. Speedups are relative to the unrolled baseline, so they isolate
+// the CFU effect from the unrolling effect itself.
+func (h *Harness) UnrollStudy(app string, factors []int, budget float64) ([]*UnrollResult, error) {
+	b, err := h.Benchmark(app)
+	if err != nil {
+		return nil, err
+	}
+	var out []*UnrollResult
+	for _, f := range factors {
+		up, err := ir.UnrollProgram(b.Program, f)
+		if err != nil {
+			return nil, err
+		}
+		cfg := explore.DefaultConfig(h.Lib)
+		if h.ExploreConfig != nil {
+			cfg = *h.ExploreConfig
+		}
+		res := explore.Explore(up, cfg)
+		cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{})
+		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Lib: h.Lib})
+		m := mdes.FromSelection(app, budget, sel)
+		_, rep, err := compile.Compile(up, m, compile.Options{Machine: h.Machine, Lib: h.Lib})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &UnrollResult{App: app, Factor: f, Speedup: rep.Speedup})
+	}
+	return out, nil
+}
+
+// AblationPoint is one (budget, speedup) sample for a selection mode.
+type AblationPoint struct {
+	Mode    cfu.SelectMode
+	Budget  float64
+	Speedup float64
+}
+
+// SelectionAblation compares the selection heuristics (§3.4): greedy
+// value/cost, greedy raw value, and the knapsack DP.
+func (h *Harness) SelectionAblation(app string, budgets []float64) ([]AblationPoint, error) {
+	cands, err := h.Candidates(app)
+	if err != nil {
+		return nil, err
+	}
+	b, err := h.Benchmark(app)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationPoint
+	for _, mode := range []cfu.SelectMode{cfu.GreedyRatio, cfu.GreedyValue, cfu.Knapsack} {
+		for _, budget := range budgets {
+			sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: mode})
+			m := mdes.FromSelection(app, budget, sel)
+			_, rep, err := compile.Compile(b.Program, m, compile.Options{Machine: h.Machine, Lib: h.Lib})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationPoint{Mode: mode, Budget: budget, Speedup: rep.Speedup})
+		}
+	}
+	return out, nil
+}
+
+// GuideAblation compares guide-function weightings (§3.2): the paper's even
+// split against skews that zero out single categories.
+type GuideAblation struct {
+	Name     string
+	Weights  explore.GuideWeights
+	Examined int
+	Speedup  float64
+}
+
+// GuideWeightAblation runs the named weight settings on one app at the
+// 15-adder point.
+func (h *Harness) GuideWeightAblation(app string) ([]*GuideAblation, error) {
+	b, err := h.Benchmark(app)
+	if err != nil {
+		return nil, err
+	}
+	cases := []*GuideAblation{
+		{Name: "even", Weights: explore.EvenWeights()},
+		{Name: "criticality-only", Weights: explore.GuideWeights{Criticality: 40}},
+		{Name: "latency-heavy", Weights: explore.GuideWeights{Criticality: 5, Latency: 25, Area: 5, IO: 5}},
+		{Name: "io-heavy", Weights: explore.GuideWeights{Criticality: 5, Latency: 5, Area: 5, IO: 25}},
+	}
+	for _, c := range cases {
+		cfg := explore.DefaultConfig(h.Lib)
+		cfg.Weights = c.Weights
+		res := explore.Explore(b.Program, cfg)
+		c.Examined = res.Stats.Examined
+		cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{})
+		sel := cfu.Select(cands, cfu.SelectOptions{Budget: 15, Mode: h.SelectMode})
+		m := mdes.FromSelection(app, 15, sel)
+		_, rep, err := compile.Compile(b.Program, m, compile.Options{Machine: h.Machine, Lib: h.Lib})
+		if err != nil {
+			return nil, err
+		}
+		c.Speedup = rep.Speedup
+	}
+	return cases, nil
+}
+
+// SortedSizes returns the ascending subgraph sizes present in either mode.
+func (st *ExplorationStats) SortedSizes() []int {
+	seen := map[int]bool{}
+	var out []int
+	for s := range st.NaiveBySize {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for s := range st.GuidedBySize {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

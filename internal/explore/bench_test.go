@@ -1,0 +1,39 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/hwlib"
+	"repro/internal/workloads"
+)
+
+// BenchmarkExploreBlowfish measures guided exploration of the 16-round
+// blowfish block, the paper's large-basic-block case.
+func BenchmarkExploreBlowfish(b *testing.B) {
+	bench, err := workloads.ByName("blowfish")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(hwlib.Default())
+	cfg.MaxExamined = 50000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Explore(bench.Program, cfg)
+		if res.Stats.Examined == 0 {
+			b.Fatal("explored nothing")
+		}
+	}
+}
+
+// BenchmarkExploreAllBenchmarks measures the full hardware-compiler
+// front half over the whole suite.
+func BenchmarkExploreAllBenchmarks(b *testing.B) {
+	all := workloads.All()
+	cfg := DefaultConfig(hwlib.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bench := range all {
+			Explore(bench.Program, cfg)
+		}
+	}
+}

@@ -1,0 +1,563 @@
+// Package explore implements the paper's dataflow graph design space
+// exploration engine: the subsystem that discovers candidate subgraphs for
+// custom function units.
+//
+// Exploration starts from every DFG node as a seed and grows candidates one
+// adjacent node at a time. A naive exploration grows in every direction and
+// is exponential; the engine instead ranks each growth *direction* with a
+// four-category guide function (criticality, latency, area, input/output —
+// 10 points each) and refuses directions scoring below half the available
+// points, with a configurable bound on the fanout from each candidate.
+// Pruning directions rather than candidates preserves the chance that a
+// low-ranking candidate grows into a useful one (the paper's stated
+// advantage over Sun-style candidate pruning).
+package explore
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+)
+
+// Constraints are the externally supplied design limits on any single CFU.
+type Constraints struct {
+	// MaxInputs and MaxOutputs bound the register-file read and write
+	// ports. The paper's experiments use 5 and 3.
+	MaxInputs  int
+	MaxOutputs int
+	// MaxArea caps one CFU's die area in adder units (0 = unlimited).
+	MaxArea float64
+	// MaxOps caps the subgraph size (0 = unlimited). The limit study uses
+	// unlimited everything.
+	MaxOps int
+}
+
+// DefaultConstraints returns the paper's experimental limits.
+func DefaultConstraints() Constraints {
+	return Constraints{MaxInputs: 5, MaxOutputs: 3}
+}
+
+// DefaultConfig returns the configuration the experiments use: the paper's
+// port constraints, evenly weighted guide categories, and a moderate fanout
+// cap (the guide ranks directions; the fanout bound takes the best few, the
+// paper's lever for curbing exponential growth in cheap-operation regions).
+func DefaultConfig(lib *hwlib.Library) Config {
+	return Config{
+		Constraints: DefaultConstraints(),
+		Lib:         lib,
+		Fanout:      UniformFanout(4),
+	}
+}
+
+// FanoutPolicy bounds how many growth directions a candidate may take,
+// given its current size and its block's profile weight. Returning 0 means
+// unlimited. Varying the policy by size or weight is the flexibility the
+// paper highlights over single-strategy explorers.
+type FanoutPolicy func(size int, blockWeight float64) int
+
+// UniformFanout allows at most k directions everywhere.
+func UniformFanout(k int) FanoutPolicy {
+	return func(int, float64) int { return k }
+}
+
+// DepthDecayFanout allows k0 directions for seeds, decaying by one per
+// grown node, never below 1: broad early search, focused late search.
+func DepthDecayFanout(k0 int) FanoutPolicy {
+	return func(size int, _ float64) int {
+		k := k0 - (size - 1)
+		if k < 1 {
+			k = 1
+		}
+		return k
+	}
+}
+
+// WeightScaledFanout allows more directions in hot blocks: k directions
+// when the block weight is at least hot, otherwise k/2 (minimum 1).
+func WeightScaledFanout(k int, hot float64) FanoutPolicy {
+	return func(_ int, w float64) int {
+		if w >= hot {
+			return k
+		}
+		if k/2 < 1 {
+			return 1
+		}
+		return k / 2
+	}
+}
+
+// Config controls one exploration run.
+type Config struct {
+	Constraints
+	// Lib supplies cost estimates and CFU eligibility. Required.
+	Lib *hwlib.Library
+	// Naive disables the guide function, growing in all directions; used
+	// by the Figure 3 comparison. Protect with MaxExamined.
+	Naive bool
+	// Threshold is the minimum guide score (out of 40) a direction needs
+	// to be explored. 0 means the paper's default of half the points (20).
+	Threshold float64
+	// Weights scales each guide category (criticality, latency, area, IO).
+	// Zero value means the paper's even 10/10/10/10 split.
+	Weights GuideWeights
+	// Fanout bounds growth directions (nil = unlimited).
+	Fanout FanoutPolicy
+	// OvershootIO lets candidates exceed the port limits by this much
+	// while growing (reconvergence can bring ports back down); such
+	// intermediates are explored but never recorded. Default 2.
+	OvershootIO int
+	// MaxExamined aborts a block's exploration after this many distinct
+	// subgraphs (0 = 200000); a safety valve for naive mode.
+	MaxExamined int
+	// CandidatePrune, when in (0,1], switches to Sun-style pruning for the
+	// ablation study: after each growth wave, only candidates whose
+	// estimated merit reaches this fraction of the best merit seen so far
+	// are kept for further growth. Directions are then not pruned.
+	CandidatePrune float64
+}
+
+// GuideWeights are the per-category points of the guide function.
+type GuideWeights struct {
+	Criticality, Latency, Area, IO float64
+}
+
+// EvenWeights is the paper's recommended balance.
+func EvenWeights() GuideWeights { return GuideWeights{10, 10, 10, 10} }
+
+func (w GuideWeights) total() float64 { return w.Criticality + w.Latency + w.Area + w.IO }
+
+func (w GuideWeights) orEven() GuideWeights {
+	if w.total() == 0 {
+		return EvenWeights()
+	}
+	return w
+}
+
+// Candidate is one discovered subgraph, annotated with hardware estimates,
+// as handed to the candidate-combination stage.
+type Candidate struct {
+	Block   *ir.Block
+	DFG     *ir.DFG
+	Set     ir.OpSet
+	Area    float64
+	Latency float64
+	Inputs  int
+	Outputs int
+}
+
+// Stats records exploration effort for the Figure 3 study.
+type Stats struct {
+	// Examined is the number of distinct subgraphs visited.
+	Examined int
+	// BySize counts examined subgraphs by node count.
+	BySize map[int]int
+	// PrunedDirections counts growth directions rejected by the guide.
+	PrunedDirections int
+	// Recorded is the number of constraint-satisfying candidates kept.
+	Recorded int
+}
+
+// Result is the output of exploring one program.
+type Result struct {
+	Candidates []Candidate
+	Stats      Stats
+}
+
+// Explore runs the space explorer over every block of p.
+func Explore(p *ir.Program, cfg Config) *Result {
+	res := &Result{Stats: Stats{BySize: make(map[int]int)}}
+	for _, b := range p.Blocks {
+		exploreBlock(b, cfg, res)
+	}
+	return res
+}
+
+// ExploreBlock runs the space explorer over a single block.
+func ExploreBlock(b *ir.Block, cfg Config) *Result {
+	res := &Result{Stats: Stats{BySize: make(map[int]int)}}
+	exploreBlock(b, cfg, res)
+	return res
+}
+
+// blockCtx precomputes the per-block structures the hot loop needs:
+// dependence masks, value-consumption masks, reachability (for convexity),
+// and per-op hardware costs.
+type blockCtx struct {
+	b *ir.Block
+	d *ir.DFG
+	n int // op count
+
+	allowed   bitset
+	dataPreds [][]int  // data predecessor op indices
+	nbrMask   []bitset // data preds | data users, per op
+	userMask  []bitset // data users, per op
+	succsAll  [][]int  // all dependence successors (for convexity)
+	reach     []bitset // forward reachability over all dependence edges
+	argVals   []bitset // value-space consumption per op (ops then regs)
+	escapes   []bool   // op has a live-out Dest
+	area      []float64
+	delay     []float64
+
+	scratch []float64 // longest-path workspace
+}
+
+func newBlockCtx(b *ir.Block, lib *hwlib.Library) *blockCtx {
+	d := ir.Analyze(b)
+	n := len(b.Ops)
+	c := &blockCtx{
+		b: b, d: d, n: n,
+		allowed:   newBitset(n),
+		dataPreds: make([][]int, n),
+		nbrMask:   make([]bitset, n),
+		userMask:  make([]bitset, n),
+		succsAll:  make([][]int, n),
+		reach:     make([]bitset, n),
+		argVals:   make([]bitset, n),
+		escapes:   make([]bool, n),
+		area:      make([]float64, n),
+		delay:     make([]float64, n),
+		scratch:   make([]float64, n),
+	}
+	regID := make(map[ir.Reg]int)
+	for _, op := range b.Ops {
+		for _, a := range op.Args {
+			if a.Kind == ir.FromReg {
+				if _, ok := regID[a.Reg]; !ok {
+					regID[a.Reg] = len(regID)
+				}
+			}
+		}
+	}
+	nv := n + len(regID)
+	for i, op := range b.Ops {
+		if lib.Allowed(op.Code) {
+			c.allowed.set(i)
+		}
+		c.area[i] = lib.Area(op.Code)
+		c.delay[i] = lib.Delay(op.Code)
+		c.escapes[i] = op.Dest != 0
+		for _, r := range op.Dests {
+			if r != 0 {
+				c.escapes[i] = true
+			}
+		}
+		c.dataPreds[i] = d.DataPreds[i]
+		c.nbrMask[i] = newBitset(n)
+		c.userMask[i] = newBitset(n)
+		c.argVals[i] = newBitset(nv)
+		for _, p := range d.DataPreds[i] {
+			c.nbrMask[i].set(p)
+		}
+		for _, a := range op.Args {
+			switch a.Kind {
+			case ir.FromOp:
+				c.argVals[i].set(d.Pos[a.X])
+			case ir.FromReg:
+				c.argVals[i].set(n + regID[a.Reg])
+			}
+		}
+		c.succsAll[i] = d.Succs[i]
+	}
+	for i := 0; i < n; i++ {
+		for _, u := range c.d.Users(i) {
+			c.userMask[i].set(u)
+			c.nbrMask[u].set(i)
+			c.nbrMask[i].set(u)
+		}
+	}
+	// Reachability over all dependence edges, in reverse topological
+	// (block) order.
+	for i := n - 1; i >= 0; i-- {
+		r := newBitset(n)
+		for _, s := range c.succsAll[i] {
+			r.set(s)
+			r.orInto(c.reach[s])
+		}
+		c.reach[i] = r
+	}
+	return c
+}
+
+// workItem is one candidate subgraph with incrementally maintained state.
+type workItem struct {
+	set      bitset
+	members  []int // ascending op indices (block order is topological)
+	argUnion bitset
+	nbrUnion bitset
+	area     float64
+	latency  float64
+	in, out  int
+}
+
+// grow returns cur extended with op nb, recomputing the derived fields.
+func (c *blockCtx) grow(cur *workItem, nb int) *workItem {
+	w := &workItem{
+		set:      cur.set.clone(),
+		argUnion: cur.argUnion.clone(),
+		nbrUnion: cur.nbrUnion.clone(),
+		area:     cur.area + c.area[nb],
+	}
+	w.set.set(nb)
+	w.argUnion.orInto(c.argVals[nb])
+	w.nbrUnion.orInto(c.nbrMask[nb])
+	w.members = make([]int, 0, len(cur.members)+1)
+	inserted := false
+	for _, m := range cur.members {
+		if !inserted && nb < m {
+			w.members = append(w.members, nb)
+			inserted = true
+		}
+		w.members = append(w.members, m)
+	}
+	if !inserted {
+		w.members = append(w.members, nb)
+	}
+	w.latency = c.longestPath(w)
+	w.in, w.out = c.numIO(w)
+	return w
+}
+
+func (c *blockCtx) seed(i int) *workItem {
+	w := &workItem{
+		set:      newBitset(c.n),
+		members:  []int{i},
+		argUnion: c.argVals[i].clone(),
+		nbrUnion: c.nbrMask[i].clone(),
+		area:     c.area[i],
+		latency:  c.delay[i],
+	}
+	w.set.set(i)
+	w.in, w.out = c.numIO(w)
+	return w
+}
+
+// longestPath computes the candidate's internal critical-path delay.
+// Members are ascending, and block order is topological, so one pass
+// suffices.
+func (c *blockCtx) longestPath(w *workItem) float64 {
+	max := 0.0
+	for _, i := range w.members {
+		best := 0.0
+		for _, p := range c.dataPreds[i] {
+			if w.set.has(p) && c.scratch[p] > best {
+				best = c.scratch[p]
+			}
+		}
+		c.scratch[i] = best + c.delay[i]
+		if c.scratch[i] > max {
+			max = c.scratch[i]
+		}
+	}
+	return max
+}
+
+// numIO counts register input and output ports.
+func (c *blockCtx) numIO(w *workItem) (in, out int) {
+	in = w.argUnion.andNotCount(w.set)
+	for _, i := range w.members {
+		if c.escapes[i] || c.userMask[i].andNotCount(w.set) > 0 {
+			out++
+		}
+	}
+	return in, out
+}
+
+// convex reports whether no dependence path leaves the set and re-enters.
+func (c *blockCtx) convex(w *workItem) bool {
+	for _, m := range w.members {
+		for _, s := range c.succsAll[m] {
+			if !w.set.has(s) && c.reach[s].intersects(w.set) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func exploreBlock(b *ir.Block, cfg Config, res *Result) {
+	if len(b.Ops) == 0 {
+		return
+	}
+	ctx := newBlockCtx(b, cfg.Lib)
+	weights := cfg.Weights.orEven()
+	threshold := cfg.Threshold
+	if threshold == 0 {
+		threshold = weights.total() / 2
+	}
+	overshoot := cfg.OvershootIO
+	if overshoot == 0 {
+		overshoot = 2
+	}
+	maxExamined := cfg.MaxExamined
+	if maxExamined == 0 {
+		maxExamined = 200000
+	}
+
+	visited := make(map[string]bool)
+	var queue []*workItem
+	examined := 0
+
+	record := func(w *workItem) {
+		// Only subgraphs that would save cycles as a CFU are worth handing
+		// to the combination stage: the unit issues once and completes in
+		// ceil(latency) cycles versus one issue slot per op.
+		cycles := int(math.Ceil(w.latency))
+		if cycles < 1 {
+			cycles = 1
+		}
+		if len(w.members)-cycles < 1 {
+			return
+		}
+		if w.in > cfg.MaxInputs || w.out > cfg.MaxOutputs {
+			return
+		}
+		if cfg.MaxArea > 0 && w.area > cfg.MaxArea {
+			return
+		}
+		if !ctx.convex(w) {
+			return
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			Block: b, DFG: ctx.d, Set: ir.NewOpSet(w.members...),
+			Area: w.area, Latency: w.latency,
+			Inputs: w.in, Outputs: w.out,
+		})
+		res.Stats.Recorded++
+	}
+
+	push := func(w *workItem) {
+		key := w.set.key()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		examined++
+		res.Stats.Examined++
+		res.Stats.BySize[len(w.members)]++
+		record(w)
+		queue = append(queue, w)
+	}
+
+	for i := 0; i < ctx.n && examined < maxExamined; i++ {
+		if ctx.allowed.has(i) {
+			push(ctx.seed(i))
+		}
+	}
+
+	for len(queue) > 0 && examined < maxExamined {
+		// FIFO pop: breadth-first keeps candidate sizes monotone, which
+		// the Sun-style pruning ablation relies on.
+		cur := queue[0]
+		queue = queue[1:]
+
+		if cfg.MaxOps > 0 && len(cur.members) >= cfg.MaxOps {
+			continue
+		}
+		if cur.in > cfg.MaxInputs+overshoot || cur.out > cfg.MaxOutputs+overshoot {
+			continue
+		}
+		if cfg.MaxArea > 0 && cur.area >= cfg.MaxArea {
+			continue
+		}
+
+		type scored struct {
+			w     *workItem
+			score float64
+		}
+		var accepted []scored
+		cur.nbrUnion.forEach(cur.set, func(nb int) {
+			if !ctx.allowed.has(nb) {
+				return
+			}
+			grown := ctx.grow(cur, nb)
+			if cfg.Naive || cfg.CandidatePrune > 0 {
+				accepted = append(accepted, scored{grown, 0})
+				return
+			}
+			s := guideScore(ctx, cur, grown, nb, weights)
+			if s < threshold {
+				res.Stats.PrunedDirections++
+				return
+			}
+			accepted = append(accepted, scored{grown, s})
+		})
+		if !cfg.Naive && cfg.Fanout != nil {
+			if k := cfg.Fanout(len(cur.members), b.Weight); k > 0 && len(accepted) > k {
+				sort.Slice(accepted, func(a, b int) bool { return accepted[a].score > accepted[b].score })
+				res.Stats.PrunedDirections += len(accepted) - k
+				accepted = accepted[:k]
+			}
+		}
+		for _, a := range accepted {
+			push(a.w)
+			if examined >= maxExamined {
+				return
+			}
+		}
+
+		if cfg.CandidatePrune > 0 {
+			queue = pruneCandidates(queue, b.Weight, cfg.CandidatePrune)
+		}
+	}
+}
+
+// guideScore ranks the desirability of having grown candidate cur into
+// grown by adding node nb.
+func guideScore(ctx *blockCtx, cur, grown *workItem, nb int, w GuideWeights) float64 {
+	// Criticality: 10/(slack+1); nodes on the critical path score full.
+	crit := w.Criticality / float64(ctx.d.Slack[nb]+1)
+
+	// Latency: old/new * 10, preferring directions that add little delay.
+	// A zero-delay direction scores full points (paper: growing toward a
+	// free shifter yields 0.15/(0.15+0)*10 = 10).
+	var lat float64
+	switch {
+	case grown.latency <= cur.latency+1e-9:
+		lat = w.Latency
+	default:
+		lat = cur.latency / grown.latency * w.Latency
+	}
+
+	// Area: old/new * 10, with both rounded up to the nearest half adder
+	// so tiny seeds are not penalized unfairly.
+	area := hwlib.RoundHalf(cur.area) / hwlib.RoundHalf(grown.area) * w.Area
+
+	// I/O: MIN(oldPorts/newPorts*10, 10); reconvergence can reduce ports.
+	oldPorts, newPorts := cur.in+cur.out, grown.in+grown.out
+	io := w.IO
+	if newPorts > 0 {
+		io = math.Min(float64(oldPorts)/float64(newPorts)*w.IO, w.IO)
+	}
+
+	return crit + lat + area + io
+}
+
+// pruneCandidates implements the Sun-style ablation: drop queued candidates
+// whose merit is below frac of the best queued merit. Merit is the profile
+// weight times the estimated cycles saved were the candidate a CFU.
+func pruneCandidates(queue []*workItem, blockWeight, frac float64) []*workItem {
+	if len(queue) < 2 {
+		return queue
+	}
+	best := 0.0
+	merits := make([]float64, len(queue))
+	for i, w := range queue {
+		saved := float64(len(w.members)) - math.Max(1, math.Ceil(w.latency))
+		if saved < 0 {
+			saved = 0
+		}
+		merits[i] = blockWeight * saved
+		if merits[i] > best {
+			best = merits[i]
+		}
+	}
+	out := queue[:0]
+	for i, w := range queue {
+		if merits[i] >= best*frac {
+			out = append(out, w)
+		}
+	}
+	return out
+}

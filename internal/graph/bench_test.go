@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// BenchmarkFindMatches measures VF2-style matching of a 3-node pattern in
+// a 64-op block with many near misses.
+func BenchmarkFindMatches(b *testing.B) {
+	blk := ir.NewBlock("bench", 1)
+	vals := []ir.Operand{blk.Arg(ir.R(1)), blk.Arg(ir.R(2))}
+	s := uint64(5)
+	next := func(m int) int {
+		s = s*2862933555777941757 + 3037000493
+		return int((s >> 33) % uint64(m))
+	}
+	codes := []ir.Opcode{ir.Add, ir.Xor, ir.And, ir.Shl, ir.Or}
+	for i := 0; i < 64; i++ {
+		c := codes[next(len(codes))]
+		y := vals[next(len(vals))]
+		if c == ir.Shl {
+			y = blk.Imm(uint32(next(31)))
+		}
+		vals = append(vals, blk.Emit(c, vals[next(len(vals))], y).Out())
+	}
+	blk.Def(ir.R(3), vals[len(vals)-1])
+	d := ir.Analyze(blk)
+	pat := &Shape{
+		Nodes: []Node{
+			{Code: ir.And, Ins: []Ref{{Kind: RefInput, Index: 0}, {Kind: RefInput, Index: 1}}},
+			{Code: ir.Xor, Ins: []Ref{{Kind: RefNode, Index: 0}, {Kind: RefInput, Index: 2}}},
+			{Code: ir.Add, Ins: []Ref{{Kind: RefNode, Index: 1}, {Kind: RefInput, Index: 3}}},
+		},
+		NumInputs: 4, Outputs: []int{2},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindMatches(d, pat, MatchOptions{})
+	}
+}
+
+// BenchmarkIsomorphic measures the pairwise check used during candidate
+// combination, on symmetric all-add chains (the hard case for backtracking).
+func BenchmarkIsomorphic(b *testing.B) {
+	mk := func() *Shape {
+		s := &Shape{NumInputs: 2}
+		s.Nodes = append(s.Nodes, Node{Code: ir.Add, Ins: []Ref{{Kind: RefInput, Index: 0}, {Kind: RefInput, Index: 1}}})
+		for i := 1; i < 12; i++ {
+			s.Nodes = append(s.Nodes, Node{Code: ir.Add, Ins: []Ref{{Kind: RefNode, Index: i - 1}, {Kind: RefInput, Index: 0}}})
+		}
+		s.Outputs = []int{11}
+		return s
+	}
+	a, c := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Isomorphic(a, c) {
+			b.Fatal("must match")
+		}
+	}
+}
+
+// BenchmarkSubsumedVariants measures variant generation for a mid-size CFU.
+func BenchmarkSubsumedVariants(b *testing.B) {
+	s := &Shape{
+		Nodes: []Node{
+			{Code: ir.And, Ins: []Ref{{Kind: RefInput, Index: 0}, {Kind: RefInput, Index: 1}}},
+			{Code: ir.Add, Ins: []Ref{{Kind: RefNode, Index: 0}, {Kind: RefInput, Index: 2}}},
+			{Code: ir.Xor, Ins: []Ref{{Kind: RefNode, Index: 1}, {Kind: RefInput, Index: 3}}},
+			{Code: ir.Shl, Ins: []Ref{{Kind: RefNode, Index: 2}, {Kind: RefImm, Index: 0}}},
+			{Code: ir.Or, Ins: []Ref{{Kind: RefNode, Index: 3}, {Kind: RefInput, Index: 4}}},
+		},
+		NumInputs: 5, NumImms: 1, Outputs: []int{4},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SubsumedVariants(s, 64)
+	}
+}

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders a CFU pattern in Graphviz DOT form: input and immediate
+// ports as boxes, operation nodes as ellipses (multi-function nodes
+// double-circled), output ports marked.
+func WriteDOT(w io.Writer, name string, s *Shape) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [fontname=Helvetica];\n", name)
+	for i := 0; i < s.NumInputs; i++ {
+		fmt.Fprintf(&sb, "  in%d [shape=box label=\"in%d\"];\n", i, i)
+	}
+	for i := 0; i < s.NumImms; i++ {
+		fmt.Fprintf(&sb, "  imm%d [shape=box style=dashed label=\"imm%d\"];\n", i, i)
+	}
+	for i, n := range s.Nodes {
+		shape := "ellipse"
+		label := n.Code.String()
+		if n.Class != 0 {
+			shape = "doublecircle"
+			label = "[" + label + "]"
+		}
+		style := ""
+		if s.IsOutput(i) {
+			style = " style=bold"
+		}
+		fmt.Fprintf(&sb, "  n%d [shape=%s label=%q%s];\n", i, shape, label, style)
+	}
+	for i, n := range s.Nodes {
+		for k, r := range n.Ins {
+			var src string
+			switch r.Kind {
+			case RefNode:
+				src = fmt.Sprintf("n%d", r.Index)
+			case RefInput:
+				src = fmt.Sprintf("in%d", r.Index)
+			case RefImm:
+				src = fmt.Sprintf("imm%d", r.Index)
+			default:
+				cn := fmt.Sprintf("const_%d_%d", i, k)
+				fmt.Fprintf(&sb, "  %s [shape=box style=dotted label=\"%#x\"];\n", cn, r.Val)
+				src = cn
+			}
+			fmt.Fprintf(&sb, "  %s -> n%d;\n", src, i)
+		}
+	}
+	for k, o := range s.Outputs {
+		fmt.Fprintf(&sb, "  out%d [shape=box label=\"out%d\"];\n  n%d -> out%d;\n", k, k, o, k)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,52 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// ExampleFindMatches discovers every occurrence of a CFU pattern in a
+// block, in the style of the paper's Figure 6 walk-through.
+func ExampleFindMatches() {
+	// DFG with two shl-xor chains.
+	b := ir.NewBlock("kernel", 100)
+	x, y := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+	b.Def(ir.R(3), b.Xor(b.Shl(x, b.Imm(3)), y))
+	b.Def(ir.R(4), b.Xor(b.Shl(y, b.Imm(7)), x))
+	d := ir.Analyze(b)
+
+	// Pattern: xor(shl(in0, imm0), in1).
+	pattern := &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.Shl, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}, {Kind: graph.RefImm, Index: 0}}},
+			{Code: ir.Xor, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 0}, {Kind: graph.RefInput, Index: 1}}},
+		},
+		NumInputs: 2, NumImms: 1, Outputs: []int{1},
+	}
+	matches := graph.FindMatches(d, pattern, graph.MatchOptions{})
+	fmt.Println("occurrences found:", len(matches))
+	fmt.Println("first occurrence shift amount:", matches[0].Imms[0])
+	// Output:
+	// occurrences found: 2
+	// first occurrence shift amount: 3
+}
+
+// ExampleSubsumedVariants lists the patterns a CFU can execute by driving
+// identity inputs through unused nodes.
+func ExampleSubsumedVariants() {
+	s := &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.And, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}, {Kind: graph.RefInput, Index: 1}}},
+			{Code: ir.Add, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 0}, {Kind: graph.RefInput, Index: 2}}},
+		},
+		NumInputs: 3, Outputs: []int{1},
+	}
+	for _, v := range graph.SubsumedVariants(s, 0) {
+		fmt.Println(v.Mnemonic())
+	}
+	// Output:
+	// add
+	// and
+}

@@ -1,0 +1,281 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Match is one occurrence of a pattern in a block's DFG.
+type Match struct {
+	// NodeToOp maps pattern node index -> block op index.
+	NodeToOp []int
+	// Set is the matched op-index set.
+	Set ir.OpSet
+	// Inputs binds each pattern input port to the operand it reads.
+	Inputs []ir.Operand
+	// Imms holds the occurrence's immediate parameter values in slot order.
+	Imms []uint32
+}
+
+// MatchOptions configures the matcher.
+type MatchOptions struct {
+	// OpMatch decides whether a pattern node opcode may map onto a DFG
+	// opcode. Nil means exact equality. Supplying a class-based predicate
+	// enables the paper's opcode-class wildcard generalization.
+	OpMatch func(pattern, op ir.Opcode) bool
+	// ClassOf maps an opcode to its hardware class id; required when the
+	// pattern contains multi-function nodes (Node.Class != 0), which match
+	// any opcode of the same class regardless of OpMatch.
+	ClassOf func(ir.Opcode) uint8
+	// OpAllowed, when non-nil, restricts which block ops may participate
+	// (the compiler uses it to exclude already-claimed operations).
+	OpAllowed func(opIdx int) bool
+	// MaxMatches caps the number of matches returned (0 = unlimited).
+	MaxMatches int
+}
+
+// FindMatches enumerates occurrences of pattern s in block DFG d, in the
+// style of the VF2 algorithm: partial matches (pattern-node prefixes) are
+// extended one node at a time, pruning as soon as an edge, port-binding,
+// escape, or convexity constraint fails.
+//
+// A returned match is guaranteed replaceable by a single custom
+// instruction: the op set is convex, values of non-output pattern nodes do
+// not escape the set, and every external input is available outside it.
+func FindMatches(d *ir.DFG, s *Shape, opts MatchOptions) []Match {
+	if len(s.Nodes) == 0 {
+		return nil
+	}
+	exactOrCustom := opts.OpMatch
+	if exactOrCustom == nil {
+		exactOrCustom = func(p, o ir.Opcode) bool { return p == o }
+	}
+	// nodeMatch honors multi-function nodes: a class node accepts any
+	// opcode in its class; plain nodes defer to OpMatch.
+	nodeMatch := func(n Node, o ir.Opcode) bool {
+		if n.Class != 0 {
+			return opts.ClassOf != nil && opts.ClassOf(o) == n.Class
+		}
+		return exactOrCustom(n.Code, o)
+	}
+	n := len(s.Nodes)
+	blockN := len(d.Block.Ops)
+
+	// Candidate ops per opcode for seed/unlinked nodes.
+	allowed := func(i int) bool {
+		if d.Block.Ops[i].Code == ir.Custom {
+			return false
+		}
+		return opts.OpAllowed == nil || opts.OpAllowed(i)
+	}
+
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	usedOp := make(map[int]bool, n)
+	inputBind := make([]ir.Operand, s.NumInputs)
+	inputBound := make([]bool, s.NumInputs)
+
+	var results []Match
+	seen := make(map[string]bool)
+
+	// nodeRefOK checks pattern node pi's ins against op (at index oi) args
+	// under permutation perm of the op's args. Returns bound ports for undo.
+	nodeRefOK := func(pi, oi int, perm []int) (bool, []int) {
+		pn := s.Nodes[pi]
+		op := d.Block.Ops[oi]
+		if len(op.Args) != len(pn.Ins) {
+			return false, nil
+		}
+		var bound []int
+		fail := func() (bool, []int) { return false, bound }
+		for k, r := range pn.Ins {
+			arg := op.Args[perm[k]]
+			switch r.Kind {
+			case RefNode:
+				if arg.Kind != ir.FromOp || arg.Idx != 0 {
+					return fail()
+				}
+				if mapping[r.Index] != d.Pos[arg.X] {
+					return fail()
+				}
+			case RefInput:
+				// An external input must not be produced by a matched op.
+				if arg.Kind == ir.FromOp {
+					if j, ok := d.Pos[arg.X]; ok && usedOp[j] {
+						return fail()
+					}
+				}
+				if inputBound[r.Index] {
+					if !inputBind[r.Index].SameValue(arg) {
+						return fail()
+					}
+				} else {
+					inputBind[r.Index] = arg
+					inputBound[r.Index] = true
+					bound = append(bound, r.Index)
+				}
+			case RefImm:
+				if arg.Kind != ir.Imm {
+					return fail()
+				}
+			case RefConst:
+				if arg.Kind != ir.Imm || arg.Val != r.Val {
+					return fail()
+				}
+			}
+		}
+		return true, bound
+	}
+	unbind := func(ports []int) {
+		for _, p := range ports {
+			inputBound[p] = false
+		}
+	}
+
+	complete := func() {
+		set := make(ir.OpSet, n)
+		for _, oi := range mapping {
+			set.Add(oi)
+		}
+		key := set.Key()
+		if seen[key] {
+			return
+		}
+		// Escape check: non-output pattern nodes must be internal-only.
+		for pi, oi := range mapping {
+			if s.IsOutput(pi) {
+				continue
+			}
+			op := d.Block.Ops[oi]
+			if op.Dest != 0 {
+				return
+			}
+			for _, u := range d.Users(oi) {
+				if !set.Has(u) {
+					return
+				}
+			}
+		}
+		// Input bindings must not come from inside the set (circularity).
+		for p := 0; p < s.NumInputs; p++ {
+			if inputBound[p] && inputBind[p].Kind == ir.FromOp {
+				if j, ok := d.Pos[inputBind[p].X]; ok && set.Has(j) {
+					return
+				}
+			}
+		}
+		if !set.Convex(d) {
+			return
+		}
+		seen[key] = true
+		m := Match{
+			NodeToOp: append([]int(nil), mapping...),
+			Set:      set,
+			Inputs:   make([]ir.Operand, s.NumInputs),
+		}
+		copy(m.Inputs, inputBind)
+		m.Imms = make([]uint32, s.NumImms)
+		for pi, pn := range s.Nodes {
+			op := d.Block.Ops[mapping[pi]]
+			// Re-derive the permutation used is unnecessary for imms when
+			// the imm sits at a fixed position; recover by matching kinds.
+			for k, r := range pn.Ins {
+				if r.Kind == RefImm || r.Kind == RefConst {
+					// Find an Imm arg; positions correspond except under
+					// commutative swap, where both arg kinds were checked.
+					if op.Args[k].Kind == ir.Imm {
+						if r.Kind == RefImm {
+							m.Imms[r.Index] = op.Args[k].Val
+						}
+					} else {
+						for _, a := range op.Args {
+							if a.Kind == ir.Imm && r.Kind == RefImm {
+								m.Imms[r.Index] = a.Val
+							}
+						}
+					}
+				}
+			}
+		}
+		results = append(results, m)
+	}
+
+	var extend func(pi int) bool // returns true when the match cap is hit
+	extend = func(pi int) bool {
+		if pi == n {
+			complete()
+			return opts.MaxMatches > 0 && len(results) >= opts.MaxMatches
+		}
+		// Candidate ops: consumers of already-mapped producers when this
+		// node reads a mapped node; otherwise all ops of a matching opcode.
+		var candidates []int
+		narrowed := false
+		for _, r := range s.Nodes[pi].Ins {
+			if r.Kind == RefNode && mapping[r.Index] >= 0 {
+				producer := mapping[r.Index]
+				candidates = d.Users(producer)
+				narrowed = true
+				break
+			}
+		}
+		if !narrowed {
+			candidates = make([]int, 0, blockN)
+			for i := 0; i < blockN; i++ {
+				candidates = append(candidates, i)
+			}
+		}
+		for _, oi := range candidates {
+			if usedOp[oi] || !allowed(oi) {
+				continue
+			}
+			op := d.Block.Ops[oi]
+			if !nodeMatch(s.Nodes[pi], op.Code) {
+				continue
+			}
+			perms := [][]int{identityPerm(len(op.Args))}
+			if op.Code.IsCommutative() && len(op.Args) >= 2 {
+				sw := identityPerm(len(op.Args))
+				sw[0], sw[1] = 1, 0
+				perms = append(perms, sw)
+			}
+			for _, perm := range perms {
+				ok, bound := nodeRefOK(pi, oi, perm)
+				if !ok {
+					unbind(bound)
+					continue
+				}
+				mapping[pi] = oi
+				usedOp[oi] = true
+				stop := extend(pi + 1)
+				mapping[pi] = -1
+				delete(usedOp, oi)
+				unbind(bound)
+				if stop {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	extend(0)
+
+	sort.Slice(results, func(a, b int) bool {
+		return results[a].Set.Key() < results[b].Set.Key()
+	})
+	return results
+}
+
+// SubstitutedShape returns a copy of s whose node opcodes are replaced by
+// the actual opcodes of the matched ops. Needed when class-based wildcard
+// matching mapped a pattern node onto a different class member; evaluation
+// must use the program's real operation.
+func SubstitutedShape(d *ir.DFG, s *Shape, m Match) *Shape {
+	ns := s.Clone()
+	for i := range ns.Nodes {
+		ns.Nodes[i].Code = d.Block.Ops[m.NodeToOp[i]].Code
+	}
+	return ns
+}

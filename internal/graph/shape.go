@@ -1,0 +1,327 @@
+// Package graph implements the pattern graphs that describe custom function
+// units (CFUs), together with the graph algorithms the system needs:
+// canonical signatures and exact isomorphism (for the hardware compiler's
+// candidate-combination stage) and a VF2-style subgraph matcher (for the
+// software compiler's CFU utilization stage, playing the role of the vflib
+// library used in the paper).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// RefKind says where a pattern node's operand comes from.
+type RefKind uint8
+
+const (
+	// RefNode reads another node of the pattern.
+	RefNode RefKind = iota
+	// RefInput reads external input port Index. Ports are register-file
+	// reads; the same port index always carries the same value.
+	RefInput
+	// RefImm reads an immediate encoded in the custom instruction. The
+	// value is per-occurrence, so patterns match any immediate.
+	RefImm
+	// RefConst reads a constant pinned by a subsumed-subgraph variant
+	// (e.g. the 0 driven into an adder to pass a value through).
+	RefConst
+)
+
+// Ref is one operand of a pattern node.
+type Ref struct {
+	Kind  RefKind
+	Index int    // node index (RefNode) or input port (RefInput)
+	Val   uint32 // pinned value (RefConst)
+}
+
+// Node is one operation of a CFU pattern.
+type Node struct {
+	Code ir.Opcode
+	// Class, when nonzero, marks this node as a multi-function unit that
+	// accepts any opcode of the given hardware class (the paper's
+	// wildcard generalization promoted into the pattern itself). Code
+	// remains the representative member for naming and cost fallback.
+	Class uint8 `json:",omitempty"`
+	Ins   []Ref
+}
+
+// Shape is a CFU pattern: a connected DAG of primitive operations with
+// numbered external input ports and a set of output nodes. Nodes are stored
+// in a topological order (every RefNode points to a lower index).
+type Shape struct {
+	Nodes []Node
+	// NumInputs is the number of external input ports (register reads).
+	NumInputs int
+	// NumImms is the number of immediate parameters.
+	NumImms int
+	// Outputs lists node indices whose values leave the CFU, in port order.
+	Outputs []int
+
+	// sig caches Signature(); shapes are immutable once in use.
+	sig string
+}
+
+// Validate checks the topological-order and index-range invariants.
+func (s *Shape) Validate() error {
+	outSeen := make(map[int]bool)
+	for i, n := range s.Nodes {
+		if ar := n.Code.Arity(); ar >= 0 && len(n.Ins) != ar {
+			return fmt.Errorf("graph: node %d (%s) has %d ins, want %d", i, n.Code, len(n.Ins), ar)
+		}
+		for _, r := range n.Ins {
+			switch r.Kind {
+			case RefNode:
+				if r.Index < 0 || r.Index >= i {
+					return fmt.Errorf("graph: node %d reads node %d (not topological)", i, r.Index)
+				}
+			case RefInput:
+				if r.Index < 0 || r.Index >= s.NumInputs {
+					return fmt.Errorf("graph: node %d reads input %d of %d", i, r.Index, s.NumInputs)
+				}
+			}
+		}
+	}
+	for _, o := range s.Outputs {
+		if o < 0 || o >= len(s.Nodes) {
+			return fmt.Errorf("graph: output node %d out of range", o)
+		}
+		if outSeen[o] {
+			return fmt.Errorf("graph: duplicate output node %d", o)
+		}
+		outSeen[o] = true
+	}
+	return nil
+}
+
+// NumIO returns the register input and output port counts.
+func (s *Shape) NumIO() (int, int) { return s.NumInputs, len(s.Outputs) }
+
+// IsOutput reports whether node i is an output port.
+func (s *Shape) IsOutput(i int) bool {
+	for _, o := range s.Outputs {
+		if o == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Area returns the summed die area of the pattern under cm.
+func (s *Shape) Area(cm ir.CostModel) float64 {
+	a := 0.0
+	for _, n := range s.Nodes {
+		a += cm.Area(n.Code)
+	}
+	return a
+}
+
+// Latency returns the critical-path combinational delay of the pattern.
+func (s *Shape) Latency(cm ir.CostModel) float64 {
+	depth := make([]float64, len(s.Nodes))
+	max := 0.0
+	for i, n := range s.Nodes {
+		in := 0.0
+		for _, r := range n.Ins {
+			if r.Kind == RefNode && depth[r.Index] > in {
+				in = depth[r.Index]
+			}
+		}
+		depth[i] = in + cm.Delay(n.Code)
+		if depth[i] > max {
+			max = depth[i]
+		}
+	}
+	return max
+}
+
+// Cycles returns the whole-cycle latency of the pattern as a pipelined CFU.
+func (s *Shape) Cycles(cm ir.CostModel) int {
+	l := s.Latency(cm)
+	c := int(l)
+	if float64(c) < l {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Mnemonic renders the pattern as a compact name like "<<-and-add", listing
+// opcodes in topological order, mirroring the paper's CFU names.
+// Multi-function nodes are bracketed: "and-[add]-shl".
+func (s *Shape) Mnemonic() string {
+	parts := make([]string, len(s.Nodes))
+	for i, n := range s.Nodes {
+		if n.Class != 0 {
+			parts[i] = "[" + n.Code.String() + "]"
+		} else {
+			parts[i] = n.Code.String()
+		}
+	}
+	return strings.Join(parts, "-")
+}
+
+// Eval computes all node values given the external inputs and the
+// per-occurrence immediate parameters, returning the output port values.
+// Patterns containing loads must use EvalMem instead.
+func (s *Shape) Eval(inputs []uint32, imms []uint32) []uint32 {
+	return s.EvalMem(inputs, imms, nil)
+}
+
+// EvalMem is Eval with a memory view for patterns containing loads.
+func (s *Shape) EvalMem(inputs []uint32, imms []uint32, mem ir.MemoryAccessor) []uint32 {
+	vals := make([]uint32, len(s.Nodes))
+	args := make([]uint32, 0, 3)
+	for i, n := range s.Nodes {
+		args = args[:0]
+		for _, r := range n.Ins {
+			switch r.Kind {
+			case RefNode:
+				args = append(args, vals[r.Index])
+			case RefInput:
+				args = append(args, inputs[r.Index])
+			case RefImm:
+				args = append(args, imms[r.Index])
+			default:
+				args = append(args, r.Val)
+			}
+		}
+		switch n.Code {
+		case ir.LoadW:
+			vals[i] = mem.LoadWord(args[0])
+		case ir.LoadB:
+			vals[i] = mem.LoadWord(args[0]) & 0xFF
+		case ir.LoadH:
+			vals[i] = mem.LoadWord(args[0]) & 0xFFFF
+		default:
+			vals[i] = ir.EvalScalar(n.Code, args)
+		}
+	}
+	out := make([]uint32, len(s.Outputs))
+	for k, o := range s.Outputs {
+		out[k] = vals[o]
+	}
+	return out
+}
+
+// UsesMemory reports whether the pattern contains load operations.
+func (s *Shape) UsesMemory() bool {
+	for _, n := range s.Nodes {
+		if n.Code.IsLoad() {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the shape.
+func (s *Shape) Clone() *Shape {
+	ns := &Shape{NumInputs: s.NumInputs, NumImms: s.NumImms}
+	ns.Nodes = make([]Node, len(s.Nodes))
+	for i, n := range s.Nodes {
+		ns.Nodes[i] = Node{Code: n.Code, Class: n.Class, Ins: append([]Ref(nil), n.Ins...)}
+	}
+	ns.Outputs = append([]int(nil), s.Outputs...)
+	return ns
+}
+
+// String renders the shape for debugging.
+func (s *Shape) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shape[%din/%dout]", s.NumInputs, len(s.Outputs))
+	for i, n := range s.Nodes {
+		fmt.Fprintf(&sb, " %d:%s(", i, n.Code)
+		for j, r := range n.Ins {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			switch r.Kind {
+			case RefNode:
+				fmt.Fprintf(&sb, "n%d", r.Index)
+			case RefInput:
+				fmt.Fprintf(&sb, "in%d", r.Index)
+			case RefImm:
+				fmt.Fprintf(&sb, "imm%d", r.Index)
+			default:
+				fmt.Fprintf(&sb, "#%d", r.Val)
+			}
+		}
+		sb.WriteByte(')')
+	}
+	fmt.Fprintf(&sb, " out=%v", s.Outputs)
+	return sb.String()
+}
+
+// FromOpSet extracts the pattern of the candidate subgraph set within d.
+// The second result maps each pattern node index to the block op index it
+// came from; the third lists the operand each input port binds in this
+// occurrence (parallel to port numbering).
+func FromOpSet(d *ir.DFG, set ir.OpSet) (*Shape, []int, []ir.Operand) {
+	members := set.Sorted() // block order is topological within a legal block
+	// Ensure topological order among members even if the block was edited:
+	// sort by DFG depth then index.
+	sort.SliceStable(members, func(a, b int) bool {
+		if d.Depth[members[a]] != d.Depth[members[b]] {
+			return d.Depth[members[a]] < d.Depth[members[b]]
+		}
+		return members[a] < members[b]
+	})
+	nodeOf := make(map[int]int, len(members))
+	for k, m := range members {
+		nodeOf[m] = k
+	}
+	s := &Shape{}
+	var inputs []ir.Operand
+	inputSlot := func(a ir.Operand) int {
+		for k, e := range inputs {
+			if e.SameValue(a) {
+				return k
+			}
+		}
+		inputs = append(inputs, a)
+		return len(inputs) - 1
+	}
+	for _, m := range members {
+		op := d.Block.Ops[m]
+		n := Node{Code: op.Code}
+		for _, a := range op.Args {
+			switch {
+			case a.Kind == ir.Imm:
+				n.Ins = append(n.Ins, Ref{Kind: RefImm, Index: s.NumImms})
+				s.NumImms++
+			case a.Kind == ir.FromOp && set.Has(d.Pos[a.X]):
+				n.Ins = append(n.Ins, Ref{Kind: RefNode, Index: nodeOf[d.Pos[a.X]]})
+			default:
+				n.Ins = append(n.Ins, Ref{Kind: RefInput, Index: inputSlot(a)})
+			}
+		}
+		s.Nodes = append(s.Nodes, n)
+	}
+	s.NumInputs = len(inputs)
+	for _, o := range set.OutputOps(d) {
+		s.Outputs = append(s.Outputs, nodeOf[o])
+	}
+	sort.Ints(s.Outputs)
+	return s, members, inputs
+}
+
+// ImmValues returns the immediate parameter values of an occurrence of s at
+// the given block ops (nodeToOp maps pattern node -> block op index), in
+// immediate-slot order.
+func (s *Shape) ImmValues(d *ir.DFG, nodeToOp []int) []uint32 {
+	imms := make([]uint32, s.NumImms)
+	for i, n := range s.Nodes {
+		op := d.Block.Ops[nodeToOp[i]]
+		for j, r := range n.Ins {
+			if r.Kind == RefImm {
+				imms[r.Index] = op.Args[j].Val
+			}
+		}
+	}
+	return imms
+}

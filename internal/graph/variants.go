@@ -1,0 +1,236 @@
+package graph
+
+import "repro/internal/ir"
+
+// SubsumedVariants generates the patterns a CFU can execute besides its own:
+// every shape obtainable by deleting nodes whose operation has an identity
+// input (the paper's "subsumed subgraphs"). Deleting a node pins one of the
+// physical unit's inputs to the neutral element so the other input passes
+// through unchanged; e.g. a CFU "and-add-shl" can execute "and-shl" by
+// driving the adder's second input with 0.
+//
+// Variants are returned deduplicated (up to isomorphism), without the
+// original shape, largest first, capped at maxVariants (0 = default 64).
+func SubsumedVariants(s *Shape, maxVariants int) []*Shape {
+	if maxVariants == 0 {
+		maxVariants = 64
+	}
+	var out []*Shape
+	seenSig := make(map[string][]*Shape)
+	isDup := func(v *Shape) bool {
+		sig := v.Signature()
+		for _, w := range seenSig[sig] {
+			if Isomorphic(v, w) {
+				return true
+			}
+		}
+		seenSig[sig] = append(seenSig[sig], v)
+		return false
+	}
+	// Seed the dedup table with the original so it is never emitted.
+	isDup(s)
+
+	work := []*Shape{s}
+	for len(work) > 0 && len(out) < maxVariants {
+		cur := work[0]
+		work = work[1:]
+		for i := range cur.Nodes {
+			if cur.Nodes[i].Class != 0 {
+				// A multi-function node's neutral element depends on which
+				// class member executes; skip it conservatively.
+				continue
+			}
+			for _, id := range cur.Nodes[i].Code.Identities() {
+				v := deleteNode(cur, i, id)
+				if v == nil || len(v.Nodes) == 0 {
+					continue
+				}
+				if isDup(v) {
+					continue
+				}
+				out = append(out, v)
+				work = append(work, v)
+				if len(out) >= maxVariants {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// deleteNode removes node i from s by passing identity id through it.
+// Returns nil when the deletion is not expressible (the pinned operand is an
+// internal edge, or an input would pass straight to an output port).
+func deleteNode(s *Shape, i int, id ir.Identity) *Shape {
+	node := s.Nodes[i]
+	if id.ConstArg >= len(node.Ins) || id.PassArg >= len(node.Ins) {
+		return nil
+	}
+	// Pinning an internally computed operand to a constant would discard a
+	// producer; only external operands can be pinned.
+	if node.Ins[id.ConstArg].Kind == RefNode {
+		return nil
+	}
+	pass := node.Ins[id.PassArg]
+	if s.IsOutput(i) && pass.Kind != RefNode {
+		// The variant's output would be a raw input port: not a computation.
+		return nil
+	}
+
+	// Rewire: consumers of node i read the pass ref instead.
+	ns := s.Clone()
+	for j := range ns.Nodes {
+		for k := range ns.Nodes[j].Ins {
+			r := ns.Nodes[j].Ins[k]
+			if r.Kind == RefNode && r.Index == i {
+				ns.Nodes[j].Ins[k] = pass
+			}
+		}
+	}
+	// Move output port, if any.
+	for k, o := range ns.Outputs {
+		if o == i {
+			ns.Outputs[k] = pass.Index // pass.Kind == RefNode here
+		}
+	}
+	dedupOutputs(ns)
+
+	// Drop node i and any nodes that became dead (no path to an output).
+	live := make([]bool, len(ns.Nodes))
+	var markLive func(int)
+	markLive = func(j int) {
+		if live[j] {
+			return
+		}
+		live[j] = true
+		for _, r := range ns.Nodes[j].Ins {
+			if r.Kind == RefNode {
+				markLive(r.Index)
+			}
+		}
+	}
+	for _, o := range ns.Outputs {
+		markLive(o)
+	}
+	live[i] = false
+
+	remap := make([]int, len(ns.Nodes))
+	var kept []Node
+	for j := range ns.Nodes {
+		if live[j] {
+			remap[j] = len(kept)
+			kept = append(kept, ns.Nodes[j])
+		} else {
+			remap[j] = -1
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	for j := range kept {
+		for k := range kept[j].Ins {
+			if kept[j].Ins[k].Kind == RefNode {
+				kept[j].Ins[k].Index = remap[kept[j].Ins[k].Index]
+			}
+		}
+	}
+	outs := ns.Outputs[:0]
+	for _, o := range ns.Outputs {
+		if remap[o] >= 0 {
+			outs = append(outs, remap[o])
+		}
+	}
+	v := &Shape{Nodes: kept, Outputs: append([]int(nil), outs...)}
+	renumberPorts(v)
+	if !connected(v) {
+		return nil
+	}
+	return v
+}
+
+func dedupOutputs(s *Shape) {
+	seen := make(map[int]bool)
+	outs := s.Outputs[:0]
+	for _, o := range s.Outputs {
+		if !seen[o] {
+			seen[o] = true
+			outs = append(outs, o)
+		}
+	}
+	s.Outputs = outs
+}
+
+// renumberPorts compacts input and immediate slot numbering to the slots
+// still referenced, preserving first-use order.
+func renumberPorts(s *Shape) {
+	inMap := make(map[int]int)
+	immMap := make(map[int]int)
+	for j := range s.Nodes {
+		for k := range s.Nodes[j].Ins {
+			r := &s.Nodes[j].Ins[k]
+			switch r.Kind {
+			case RefInput:
+				if n, ok := inMap[r.Index]; ok {
+					r.Index = n
+				} else {
+					inMap[r.Index] = len(inMap)
+					r.Index = len(inMap) - 1
+				}
+			case RefImm:
+				if n, ok := immMap[r.Index]; ok {
+					r.Index = n
+				} else {
+					immMap[r.Index] = len(immMap)
+					r.Index = len(immMap) - 1
+				}
+			}
+		}
+	}
+	s.NumInputs = len(inMap)
+	s.NumImms = len(immMap)
+}
+
+// connected reports whether the shape is weakly connected through internal
+// edges and shared input ports.
+func connected(s *Shape) bool {
+	if len(s.Nodes) <= 1 {
+		return true
+	}
+	// Union nodes through edges; also union nodes sharing an input port.
+	parent := make([]int, len(s.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	portFirst := make(map[int]int)
+	for j := range s.Nodes {
+		for _, r := range s.Nodes[j].Ins {
+			switch r.Kind {
+			case RefNode:
+				union(j, r.Index)
+			case RefInput:
+				if f, ok := portFirst[r.Index]; ok {
+					union(j, f)
+				} else {
+					portFirst[r.Index] = j
+				}
+			}
+		}
+	}
+	root := find(0)
+	for j := 1; j < len(s.Nodes); j++ {
+		if find(j) != root {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package hdl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cfu"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/graph"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+	"repro/internal/mdes"
+	"repro/internal/workloads"
+)
+
+func shlAndAdd() *graph.Shape {
+	return &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.Shl, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}, {Kind: graph.RefImm, Index: 0}}},
+			{Code: ir.And, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 0}, {Kind: graph.RefInput, Index: 1}}},
+			{Code: ir.Add, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 1}, {Kind: graph.RefInput, Index: 2}}},
+		},
+		NumInputs: 3, NumImms: 1, Outputs: []int{2},
+	}
+}
+
+func TestEmitCFUStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitCFU(&buf, "cfu0_shl_and_add", shlAndAdd(), hwlib.Default()); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module cfu0_shl_and_add (",
+		"input  wire [31:0] in0",
+		"input  wire [31:0] in2",
+		"input  wire [31:0] imm0",
+		"output wire [31:0] out0",
+		"wire [31:0] n0 = in0 << (imm0 & 32'd31);",
+		"wire [31:0] n1 = n0 & in1;",
+		"wire [31:0] n2 = n1 + in2;",
+		"assign out0 = n2;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in:\n%s", want, v)
+		}
+	}
+}
+
+func TestEmitAllOpcodes(t *testing.T) {
+	// Every CFU-eligible non-memory opcode must have a combinational form.
+	lib := hwlib.Default()
+	for c := ir.Opcode(1); c < ir.MaxOpcode; c++ {
+		if !lib.Allowed(c) || c == ir.Custom {
+			continue
+		}
+		node := graph.Node{Code: c}
+		for a := 0; a < c.Arity(); a++ {
+			node.Ins = append(node.Ins, graph.Ref{Kind: graph.RefInput, Index: a})
+		}
+		s := &graph.Shape{Nodes: []graph.Node{node}, NumInputs: c.Arity(), Outputs: []int{0}}
+		var buf bytes.Buffer
+		if err := EmitCFU(&buf, "m", s, lib); err != nil {
+			t.Errorf("%s: %v", c, err)
+		}
+	}
+}
+
+func TestEmitRejectsMemoryNode(t *testing.T) {
+	s := &graph.Shape{
+		Nodes:     []graph.Node{{Code: ir.LoadW, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}}}},
+		NumInputs: 1, Outputs: []int{0},
+	}
+	var buf bytes.Buffer
+	if err := EmitCFU(&buf, "m", s, hwlib.Default()); err == nil {
+		t.Fatal("memory node must not emit")
+	}
+}
+
+func TestEmitClassNodeHasSelect(t *testing.T) {
+	s := shlAndAdd()
+	s.Nodes[2].Class = uint8(hwlib.ClassAddSub)
+	var buf bytes.Buffer
+	if err := EmitCFU(&buf, "m", s, hwlib.Default()); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if !strings.Contains(v, "fsel") || !strings.Contains(v, "?") {
+		t.Fatalf("class node needs a function select mux:\n%s", v)
+	}
+	if !strings.Contains(v, "n1 - in2") || !strings.Contains(v, "n1 + in2") {
+		t.Fatalf("mux must offer both class members:\n%s", v)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"cfu3<shl-and-add>": "cfu3_shl_and_add",
+		"weird!!name":       "weird_name",
+		"9lives":            "cfu_9lives",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmitMDESForBenchmark(t *testing.T) {
+	b, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.GenerateMDES(b.Program, core.Config{Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EmitMDES(&buf, m, hwlib.Default()); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if strings.Count(v, "endmodule") != len(m.CFUs) {
+		t.Fatalf("modules = %d, cfus = %d\n%s", strings.Count(v, "endmodule"), len(m.CFUs), v)
+	}
+}
+
+func TestEmitMDESSkipsMemoryCFUs(t *testing.T) {
+	lib := hwlib.MemoryEnabled()
+	b, err := workloads.ByName("ipchains")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := explore.DefaultConfig(lib)
+	res := explore.Explore(b.Program, cfg)
+	cands := cfu.Combine(res, lib, cfu.CombineOptions{})
+	sel := cfu.Select(cands, cfu.SelectOptions{Budget: 15, Lib: lib})
+	m := mdes.FromSelection("ipchains", 15, sel)
+	hasMem := false
+	for i := range m.CFUs {
+		if m.CFUs[i].Shape.UsesMemory() {
+			hasMem = true
+		}
+	}
+	if !hasMem {
+		t.Skip("no memory CFU selected")
+	}
+	var buf bytes.Buffer
+	if err := EmitMDES(&buf, m, lib); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cache port wrapper") {
+		t.Fatal("memory CFU should be skipped with a note")
+	}
+}

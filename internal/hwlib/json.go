@@ -1,0 +1,114 @@
+package hwlib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ir"
+)
+
+// jsonEntry is the serialized form of one library row.
+type jsonEntry struct {
+	Opcode  string  `json:"opcode"`
+	Area    float64 `json:"area"`
+	Delay   float64 `json:"delay"`
+	Allowed bool    `json:"allowed"`
+	Class   string  `json:"class,omitempty"`
+}
+
+type jsonLibrary struct {
+	// Unit documents the calibration (informational).
+	Unit    string      `json:"unit"`
+	Entries []jsonEntry `json:"entries"`
+}
+
+var classByName = map[string]Class{
+	"addsub": ClassAddSub, "logical": ClassLogical, "shift": ClassShift,
+	"compare": ClassCompare, "extend": ClassExtend, "mul": ClassMul,
+	"select": ClassSelect, "none": ClassNone, "": ClassNone,
+}
+
+func opcodeByName() map[string]ir.Opcode {
+	m := make(map[string]ir.Opcode)
+	for c := ir.Opcode(0); c < ir.MaxOpcode; c++ {
+		m[c.String()] = c
+	}
+	return m
+}
+
+// WriteJSON serializes the library so users can edit a characterization
+// for their own cell library and load it with -hwlib in the tools.
+func (l *Library) WriteJSON(w io.Writer) error {
+	doc := jsonLibrary{Unit: "area: 32-bit ripple-carry adders; delay: fraction of the clock cycle"}
+	for c := ir.Opcode(1); c < ir.MaxOpcode; c++ {
+		if c == ir.Custom {
+			continue
+		}
+		e := l.entries[c]
+		if e.Area == 0 && e.Delay == 0 && !e.Allowed {
+			continue
+		}
+		doc.Entries = append(doc.Entries, jsonEntry{
+			Opcode: c.String(), Area: e.Area, Delay: e.Delay,
+			Allowed: e.Allowed, Class: l.classes[c].String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a library. Opcodes not listed are disallowed in CFUs.
+func ReadJSON(r io.Reader) (*Library, error) {
+	var doc jsonLibrary
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("hwlib: %w", err)
+	}
+	byName := opcodeByName()
+	entries := make(map[ir.Opcode]Entry)
+	classes := make(map[ir.Opcode]Class)
+	for i, e := range doc.Entries {
+		code, ok := byName[e.Opcode]
+		if !ok || code == ir.Custom {
+			return nil, fmt.Errorf("hwlib: entry %d: unknown opcode %q", i, e.Opcode)
+		}
+		if e.Area < 0 || e.Delay < 0 {
+			return nil, fmt.Errorf("hwlib: entry %d (%s): negative area or delay", i, e.Opcode)
+		}
+		cl, ok := classByName[e.Class]
+		if !ok {
+			return nil, fmt.Errorf("hwlib: entry %d (%s): unknown class %q", i, e.Opcode, e.Class)
+		}
+		if _, dup := entries[code]; dup {
+			return nil, fmt.Errorf("hwlib: duplicate entry for %s", e.Opcode)
+		}
+		entries[code] = Entry{Area: e.Area, Delay: e.Delay, Allowed: e.Allowed}
+		classes[code] = cl
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("hwlib: library has no entries")
+	}
+	// Sanity: stores and control flow must never be CFU-eligible (loads
+	// may be, per the relaxed-memory extension).
+	for c := ir.Opcode(0); c < ir.MaxOpcode; c++ {
+		if (c.IsStore() || c.IsBranch()) && entries[c].Allowed {
+			return nil, fmt.Errorf("hwlib: %s may not be allowed inside CFUs", c)
+		}
+	}
+	return New(entries, classes), nil
+}
+
+// LoadOrDefault reads a library from path, or returns the default library
+// when path is empty.
+func LoadOrDefault(open func(string) (io.ReadCloser, error), path string) (*Library, error) {
+	if path == "" {
+		return Default(), nil
+	}
+	f, err := open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

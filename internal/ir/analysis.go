@@ -1,0 +1,272 @@
+package ir
+
+import "fmt"
+
+// DFG is the dataflow graph of one block: dependence edges between the
+// block's operations, plus the unit-latency critical-path analysis the guide
+// function consumes. Edge sets include memory-ordering and terminator edges,
+// so a topological order of the DFG is always a legal execution order.
+type DFG struct {
+	Block *Block
+	// Pos maps an op to its index in Block.Ops at analysis time.
+	Pos map[*Op]int
+	// Preds[i] and Succs[i] are dependence edges by op index. Data,
+	// memory-ordering, and terminator edges are merged; duplicates removed.
+	Preds, Succs [][]int
+	// DataPreds[i] holds only true dataflow predecessors of op i.
+	DataPreds [][]int
+	// Height[i] is the longest unit-latency path from op i to any sink,
+	// counting i itself (so a sink has height 1).
+	Height []int
+	// Depth[i] is the longest unit-latency path from any source to op i,
+	// counting i itself (so a source has depth 1).
+	Depth []int
+	// Slack[i] is the number of cycles op i can be delayed without
+	// lengthening the block's critical path (0 = on the critical path).
+	Slack []int
+	// CritLen is the length in ops of the longest dependence path.
+	CritLen int
+}
+
+// Analyze builds the DFG for b's current operation order.
+func Analyze(b *Block) *DFG {
+	n := len(b.Ops)
+	d := &DFG{
+		Block:     b,
+		Pos:       make(map[*Op]int, n),
+		Preds:     make([][]int, n),
+		Succs:     make([][]int, n),
+		DataPreds: make([][]int, n),
+		Height:    make([]int, n),
+		Depth:     make([]int, n),
+		Slack:     make([]int, n),
+	}
+	for i, op := range b.Ops {
+		d.Pos[op] = i
+	}
+
+	addEdge := func(from, to int, data bool) {
+		if from == to {
+			return
+		}
+		for _, p := range d.Preds[to] {
+			if p == from {
+				if data {
+					for _, q := range d.DataPreds[to] {
+						if q == from {
+							return
+						}
+					}
+					d.DataPreds[to] = append(d.DataPreds[to], from)
+				}
+				return
+			}
+		}
+		d.Preds[to] = append(d.Preds[to], from)
+		d.Succs[from] = append(d.Succs[from], to)
+		if data {
+			d.DataPreds[to] = append(d.DataPreds[to], from)
+		}
+	}
+
+	// Data edges.
+	for i, op := range b.Ops {
+		for _, a := range op.Args {
+			if a.Kind == FromOp {
+				j, ok := d.Pos[a.X]
+				if !ok {
+					panic(fmt.Sprintf("ir: op %%%d in block %q uses op not in block", op.ID, b.Name))
+				}
+				addEdge(j, i, true)
+			}
+		}
+	}
+
+	// Memory ordering: with no alias analysis, a store is ordered after
+	// every earlier memory op, and a load after the latest earlier store.
+	// Custom instructions containing loads order exactly like loads.
+	lastStore := -1
+	var loadsSinceStore []int
+	readsMemory := func(op *Op) bool {
+		return op.Code.IsLoad() || (op.Code == Custom && op.Custom != nil && op.Custom.UsesMemory)
+	}
+	for i, op := range b.Ops {
+		switch {
+		case op.Code.IsStore():
+			if lastStore >= 0 {
+				addEdge(lastStore, i, false)
+			}
+			for _, l := range loadsSinceStore {
+				addEdge(l, i, false)
+			}
+			lastStore = i
+			loadsSinceStore = loadsSinceStore[:0]
+		case readsMemory(op):
+			if lastStore >= 0 {
+				addEdge(lastStore, i, false)
+			}
+			loadsSinceStore = append(loadsSinceStore, i)
+		}
+	}
+
+	// Terminators stay last: every other op precedes the terminator.
+	for i, op := range b.Ops {
+		if op.Code.IsBranch() {
+			for j := range b.Ops {
+				if j != i && !b.Ops[j].Code.IsBranch() {
+					addEdge(j, i, false)
+				}
+			}
+		}
+	}
+
+	// Height (reverse topological: ops are in a legal order by construction,
+	// but edits may have perturbed it, so iterate to fixpoint via DFS).
+	order := d.topo()
+	for k := n - 1; k >= 0; k-- {
+		i := order[k]
+		h := 1
+		for _, s := range d.Succs[i] {
+			if d.Height[s]+1 > h {
+				h = d.Height[s] + 1
+			}
+		}
+		d.Height[i] = h
+	}
+	for k := 0; k < n; k++ {
+		i := order[k]
+		dep := 1
+		for _, p := range d.Preds[i] {
+			if d.Depth[p]+1 > dep {
+				dep = d.Depth[p] + 1
+			}
+		}
+		d.Depth[i] = dep
+		if d.Depth[i]+d.Height[i]-1 > d.CritLen {
+			d.CritLen = d.Depth[i] + d.Height[i] - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.Slack[i] = d.CritLen - (d.Depth[i] + d.Height[i] - 1)
+	}
+	return d
+}
+
+// topo returns a topological order of the op indices. It panics if the
+// dependence graph is cyclic, which indicates a malformed block.
+func (d *DFG) topo() []int {
+	n := len(d.Block.Ops)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(d.Preds[i])
+	}
+	order := make([]int, 0, n)
+	// Stable queue seeded in program order keeps output deterministic.
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, s := range d.Succs[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		panic(fmt.Sprintf("ir: dependence cycle in block %q", d.Block.Name))
+	}
+	return order
+}
+
+// TopoOrder returns a legal execution order of the block's op indices.
+func (d *DFG) TopoOrder() []int { return d.topo() }
+
+// Users returns, for each op index, the indices of ops that consume one of
+// its results through a data edge.
+func (d *DFG) Users(i int) []int {
+	var out []int
+	for _, s := range d.Succs[i] {
+		for _, p := range d.DataPreds[s] {
+			if p == i {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: every FromOp operand references an
+// op in the same block that precedes first use in some topological order
+// (i.e. no cycles), arities match, and terminators are last.
+func Validate(p *Program) error {
+	for _, b := range p.Blocks {
+		pos := make(map[*Op]int, len(b.Ops))
+		for i, op := range b.Ops {
+			pos[op] = i
+		}
+		// Register writes commit at block exit, so a register must have a
+		// single writer per block or reordering could change which wins.
+		defs := make(map[Reg]int)
+		for _, op := range b.Ops {
+			regs := op.Dests
+			if op.Dest != 0 {
+				regs = append([]Reg{op.Dest}, op.Dests...)
+			}
+			for _, r := range regs {
+				if r == 0 {
+					continue
+				}
+				defs[r]++
+				if defs[r] > 1 {
+					return fmt.Errorf("ir: block %q defines %s more than once", b.Name, r)
+				}
+			}
+		}
+		for i, op := range b.Ops {
+			if ar := op.Code.Arity(); ar >= 0 && len(op.Args) != ar {
+				// Ret's value is optional.
+				if !(op.Code == Ret && len(op.Args) == 0) {
+					return fmt.Errorf("ir: block %q op %%%d (%s): got %d args, want %d",
+						b.Name, op.ID, op.Code, len(op.Args), ar)
+				}
+			}
+			for _, a := range op.Args {
+				if a.Kind == FromOp {
+					if _, ok := pos[a.X]; !ok {
+						return fmt.Errorf("ir: block %q op %%%d uses op from another block", b.Name, op.ID)
+					}
+					if a.Idx != 0 && a.X.Code != Custom {
+						return fmt.Errorf("ir: block %q op %%%d uses result %d of non-custom op", b.Name, op.ID, a.Idx)
+					}
+					if a.X.Code == Custom && (a.Idx < 0 || a.Idx >= a.X.Custom.NumOut) {
+						return fmt.Errorf("ir: block %q op %%%d uses out-of-range result %d", b.Name, op.ID, a.Idx)
+					}
+				}
+			}
+			if op.Code.IsBranch() && i != len(b.Ops)-1 {
+				return fmt.Errorf("ir: block %q has terminator %%%d before end", b.Name, op.ID)
+			}
+		}
+		// Analyze panics on cycles; convert to error.
+		if err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("%v", r)
+				}
+			}()
+			Analyze(b)
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Block is a basic block: a profile-weighted, ordered list of operations
+// with no internal control flow. Custom instructions never cross block
+// boundaries, so every customization decision is block-local.
+type Block struct {
+	Name string
+	// Weight is the profiled execution count of the block. Cycle savings
+	// estimates and final cycle counts scale by it.
+	Weight float64
+	Ops    []*Op
+	// Succs names successor blocks (informational; the experiments account
+	// cycles per block, weighted by profile).
+	Succs []string
+
+	nextID int
+}
+
+// NewBlock returns an empty block with the given name and profile weight.
+func NewBlock(name string, weight float64) *Block {
+	return &Block{Name: name, Weight: weight}
+}
+
+// Emit appends a new operation with the given opcode and arguments and
+// returns it. It is the primitive behind all the typed builder helpers.
+func (b *Block) Emit(code Opcode, args ...Operand) *Op {
+	op := &Op{ID: b.nextID, Code: code, Args: args}
+	b.nextID++
+	b.Ops = append(b.Ops, op)
+	return op
+}
+
+// EmitCustom appends a CFU invocation consuming args.
+func (b *Block) EmitCustom(ci *CustomInst, args ...Operand) *Op {
+	op := b.Emit(Custom, args...)
+	op.Custom = ci
+	op.Dests = make([]Reg, ci.NumOut)
+	return op
+}
+
+// EnsureNextID guarantees future Emit calls allocate op IDs strictly above
+// min. Loaders that assign explicit IDs (internal/asm) call this so later
+// compiler-inserted ops cannot collide with parsed ones.
+func (b *Block) EnsureNextID(min int) {
+	if b.nextID <= min {
+		b.nextID = min + 1
+	}
+}
+
+// Arg returns an operand reading virtual register r live into the block.
+func (b *Block) Arg(r Reg) Operand { return Operand{Kind: FromReg, Reg: r} }
+
+// Imm returns an immediate operand.
+func (b *Block) Imm(v uint32) Operand { return Operand{Kind: Imm, Val: v} }
+
+// ImmS returns an immediate operand from a signed value.
+func (b *Block) ImmS(v int32) Operand { return Operand{Kind: Imm, Val: uint32(v)} }
+
+// Def marks v as live-out in virtual register r. When v is not the result
+// of an op in this block (a register or constant), a Move is inserted so
+// the definition has a defining operation.
+func (b *Block) Def(r Reg, v Operand) *Op {
+	if v.Kind == FromOp && v.Idx == 0 && v.X.Dest == 0 {
+		v.X.Dest = r
+		return v.X
+	}
+	if v.Kind == FromOp && v.Idx != 0 {
+		v.X.Dests[v.Idx] = r
+		return v.X
+	}
+	mv := b.Emit(Move, v)
+	mv.Dest = r
+	return mv
+}
+
+// Typed builder helpers. Each appends one operation and returns an operand
+// reading its result, so expressions compose naturally:
+//
+//	t := b.Xor(b.Add(x, y), b.Imm(0x9E3779B9))
+func (b *Block) op1(c Opcode, a Operand) Operand       { return b.Emit(c, a).Out() }
+func (b *Block) op2(c Opcode, x, y Operand) Operand    { return b.Emit(c, x, y).Out() }
+func (b *Block) op3(c Opcode, x, y, z Operand) Operand { return b.Emit(c, x, y, z).Out() }
+
+// Add emits x + y.
+func (b *Block) Add(x, y Operand) Operand { return b.op2(Add, x, y) }
+
+// Sub emits x - y.
+func (b *Block) Sub(x, y Operand) Operand { return b.op2(Sub, x, y) }
+
+// Rsb emits y - x.
+func (b *Block) Rsb(x, y Operand) Operand { return b.op2(Rsb, x, y) }
+
+// Mul emits x * y.
+func (b *Block) Mul(x, y Operand) Operand { return b.op2(Mul, x, y) }
+
+// Div emits the signed quotient x / y.
+func (b *Block) Div(x, y Operand) Operand { return b.op2(Div, x, y) }
+
+// Rem emits the signed remainder x % y.
+func (b *Block) Rem(x, y Operand) Operand { return b.op2(Rem, x, y) }
+
+// And emits x & y.
+func (b *Block) And(x, y Operand) Operand { return b.op2(And, x, y) }
+
+// Or emits x | y.
+func (b *Block) Or(x, y Operand) Operand { return b.op2(Or, x, y) }
+
+// Xor emits x ^ y.
+func (b *Block) Xor(x, y Operand) Operand { return b.op2(Xor, x, y) }
+
+// AndNot emits x &^ y.
+func (b *Block) AndNot(x, y Operand) Operand { return b.op2(AndNot, x, y) }
+
+// Not emits ^x.
+func (b *Block) Not(x Operand) Operand { return b.op1(Not, x) }
+
+// Shl emits x << (y mod 32).
+func (b *Block) Shl(x, y Operand) Operand { return b.op2(Shl, x, y) }
+
+// Shr emits the logical shift x >> (y mod 32).
+func (b *Block) Shr(x, y Operand) Operand { return b.op2(Shr, x, y) }
+
+// Sar emits the arithmetic shift x >> (y mod 32).
+func (b *Block) Sar(x, y Operand) Operand { return b.op2(Sar, x, y) }
+
+// Rotl emits x rotated left by (y mod 32).
+func (b *Block) Rotl(x, y Operand) Operand { return b.op2(Rotl, x, y) }
+
+// Rotr emits x rotated right by (y mod 32).
+func (b *Block) Rotr(x, y Operand) Operand { return b.op2(Rotr, x, y) }
+
+// CmpEq emits x == y as 0/1.
+func (b *Block) CmpEq(x, y Operand) Operand { return b.op2(CmpEq, x, y) }
+
+// CmpNe emits x != y as 0/1.
+func (b *Block) CmpNe(x, y Operand) Operand { return b.op2(CmpNe, x, y) }
+
+// CmpLtS emits the signed comparison x < y as 0/1.
+func (b *Block) CmpLtS(x, y Operand) Operand { return b.op2(CmpLtS, x, y) }
+
+// CmpLeS emits the signed comparison x <= y as 0/1.
+func (b *Block) CmpLeS(x, y Operand) Operand { return b.op2(CmpLeS, x, y) }
+
+// CmpLtU emits the unsigned comparison x < y as 0/1.
+func (b *Block) CmpLtU(x, y Operand) Operand { return b.op2(CmpLtU, x, y) }
+
+// CmpLeU emits the unsigned comparison x <= y as 0/1.
+func (b *Block) CmpLeU(x, y Operand) Operand { return b.op2(CmpLeU, x, y) }
+
+// Select emits cond != 0 ? x : y.
+func (b *Block) Select(cond, x, y Operand) Operand { return b.op3(Select, cond, x, y) }
+
+// SextB emits sign extension of the low byte.
+func (b *Block) SextB(x Operand) Operand { return b.op1(SextB, x) }
+
+// SextH emits sign extension of the low halfword.
+func (b *Block) SextH(x Operand) Operand { return b.op1(SextH, x) }
+
+// ZextB emits zero extension of the low byte.
+func (b *Block) ZextB(x Operand) Operand { return b.op1(ZextB, x) }
+
+// ZextH emits zero extension of the low halfword.
+func (b *Block) ZextH(x Operand) Operand { return b.op1(ZextH, x) }
+
+// Move emits a register move of x.
+func (b *Block) Move(x Operand) Operand { return b.op1(Move, x) }
+
+// Load emits a 32-bit load from addr.
+func (b *Block) Load(addr Operand) Operand { return b.op1(LoadW, addr) }
+
+// LoadB emits a byte load (zero extended) from addr.
+func (b *Block) LoadB(addr Operand) Operand { return b.op1(LoadB, addr) }
+
+// LoadH emits a halfword load (zero extended) from addr.
+func (b *Block) LoadH(addr Operand) Operand { return b.op1(LoadH, addr) }
+
+// Store emits a 32-bit store of val to addr.
+func (b *Block) Store(addr, val Operand) *Op { return b.Emit(StoreW, addr, val) }
+
+// StoreB emits a byte store of val's low byte to addr.
+func (b *Block) StoreB(addr, val Operand) *Op { return b.Emit(StoreB, addr, val) }
+
+// StoreH emits a halfword store of val's low half to addr.
+func (b *Block) StoreH(addr, val Operand) *Op { return b.Emit(StoreH, addr, val) }
+
+// Branch emits an unconditional terminator.
+func (b *Block) Branch() *Op { return b.Emit(Br) }
+
+// BranchIf emits a conditional terminator on cond.
+func (b *Block) BranchIf(cond Operand) *Op { return b.Emit(BrCond, cond) }
+
+// FAdd emits the single-precision sum x + y.
+func (b *Block) FAdd(x, y Operand) Operand { return b.op2(FAdd, x, y) }
+
+// FSub emits the single-precision difference x - y.
+func (b *Block) FSub(x, y Operand) Operand { return b.op2(FSub, x, y) }
+
+// FMul emits the single-precision product x * y.
+func (b *Block) FMul(x, y Operand) Operand { return b.op2(FMul, x, y) }
+
+// Index returns the position of op in the block's current order, or -1.
+func (b *Block) Index(op *Op) int {
+	for i, o := range b.Ops {
+		if o == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of the block. Operand links are remapped to the
+// copied ops; CustomInst pointers are shared (they are immutable).
+func (b *Block) Clone() *Block {
+	nb := &Block{Name: b.Name, Weight: b.Weight, Succs: append([]string(nil), b.Succs...), nextID: b.nextID}
+	remap := make(map[*Op]*Op, len(b.Ops))
+	for _, op := range b.Ops {
+		no := &Op{ID: op.ID, Code: op.Code, Dest: op.Dest, Custom: op.Custom}
+		no.Args = append([]Operand(nil), op.Args...)
+		if op.Dests != nil {
+			no.Dests = append([]Reg(nil), op.Dests...)
+		}
+		remap[op] = no
+		nb.Ops = append(nb.Ops, no)
+	}
+	for _, no := range nb.Ops {
+		for i := range no.Args {
+			if no.Args[i].Kind == FromOp {
+				no.Args[i].X = remap[no.Args[i].X]
+			}
+		}
+	}
+	return nb
+}
+
+// String renders the block as assembly-like text.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (weight %.0f):\n", b.Name, b.Weight)
+	for _, op := range b.Ops {
+		fmt.Fprintf(&sb, "  %s\n", op)
+	}
+	return sb.String()
+}
+
+// Program is a profiled application: a named list of basic blocks.
+type Program struct {
+	Name   string
+	Blocks []*Block
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program { return &Program{Name: name} }
+
+// AddBlock creates a block, appends it and returns it.
+func (p *Program) AddBlock(name string, weight float64) *Block {
+	b := NewBlock(name, weight)
+	p.Blocks = append(p.Blocks, b)
+	return b
+}
+
+// Block returns the named block, or nil.
+func (p *Program) Block(name string) *Block {
+	for _, b := range p.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// NumOps reports the total operation count across all blocks.
+func (p *Program) NumOps() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Ops)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	np := &Program{Name: p.Name}
+	for _, b := range p.Blocks {
+		np.Blocks = append(np.Blocks, b.Clone())
+	}
+	return np
+}
+
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, b := range p.Blocks {
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}

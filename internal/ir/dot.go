@@ -1,0 +1,30 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the block's dataflow graph in Graphviz DOT form.
+// Ops in highlight are shaded, mirroring the paper's CFU figures.
+func WriteDOT(w io.Writer, b *Block, highlight OpSet) error {
+	d := Analyze(b)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=ellipse fontname=Helvetica];\n", b.Name)
+	for i, op := range b.Ops {
+		attrs := ""
+		if highlight != nil && highlight.Has(i) {
+			attrs = " style=filled fillcolor=gray80"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%d: %s\"%s];\n", i, op.ID, op.Code, attrs)
+	}
+	for i := range b.Ops {
+		for _, p := range d.DataPreds[i] {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", p, i)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,104 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// EvalScalar computes the result of a primitive, non-memory, non-control
+// opcode on concrete 32-bit values. It is the single source of operation
+// semantics, shared by the functional simulator and by CFU pattern
+// evaluation, so a custom instruction is correct by construction.
+func EvalScalar(code Opcode, a []uint32) uint32 {
+	switch code {
+	case Add:
+		return a[0] + a[1]
+	case Sub:
+		return a[0] - a[1]
+	case Rsb:
+		return a[1] - a[0]
+	case Mul:
+		return a[0] * a[1]
+	case Div:
+		if a[1] == 0 {
+			return 0
+		}
+		return uint32(int32(a[0]) / int32(a[1]))
+	case Rem:
+		if a[1] == 0 {
+			return 0
+		}
+		return uint32(int32(a[0]) % int32(a[1]))
+	case And:
+		return a[0] & a[1]
+	case Or:
+		return a[0] | a[1]
+	case Xor:
+		return a[0] ^ a[1]
+	case AndNot:
+		return a[0] &^ a[1]
+	case Not:
+		return ^a[0]
+	case Shl:
+		return a[0] << (a[1] & 31)
+	case Shr:
+		return a[0] >> (a[1] & 31)
+	case Sar:
+		return uint32(int32(a[0]) >> (a[1] & 31))
+	case Rotl:
+		s := a[1] & 31
+		return a[0]<<s | a[0]>>(32-s)&boolMask(s != 0)
+	case Rotr:
+		s := a[1] & 31
+		return a[0]>>s | a[0]<<(32-s)&boolMask(s != 0)
+	case CmpEq:
+		return b2u(a[0] == a[1])
+	case CmpNe:
+		return b2u(a[0] != a[1])
+	case CmpLtS:
+		return b2u(int32(a[0]) < int32(a[1]))
+	case CmpLeS:
+		return b2u(int32(a[0]) <= int32(a[1]))
+	case CmpLtU:
+		return b2u(a[0] < a[1])
+	case CmpLeU:
+		return b2u(a[0] <= a[1])
+	case Select:
+		if a[0] != 0 {
+			return a[1]
+		}
+		return a[2]
+	case SextB:
+		return uint32(int32(int8(a[0])))
+	case SextH:
+		return uint32(int32(int16(a[0])))
+	case ZextB:
+		return a[0] & 0xFF
+	case ZextH:
+		return a[0] & 0xFFFF
+	case Move:
+		return a[0]
+	case FAdd:
+		return math.Float32bits(math.Float32frombits(a[0]) + math.Float32frombits(a[1]))
+	case FSub:
+		return math.Float32bits(math.Float32frombits(a[0]) - math.Float32frombits(a[1]))
+	case FMul:
+		return math.Float32bits(math.Float32frombits(a[0]) * math.Float32frombits(a[1]))
+	}
+	panic(fmt.Sprintf("ir: EvalScalar of non-scalar opcode %s", code))
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// boolMask returns all-ones when b, else zero; used to avoid a shift by 32.
+func boolMask(b bool) uint32 {
+	if b {
+		return 0xFFFFFFFF
+	}
+	return 0
+}

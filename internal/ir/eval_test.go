@@ -1,0 +1,185 @@
+package ir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEvalScalarAgainstGo checks every scalar opcode against the
+// corresponding Go expression on random operands.
+func TestEvalScalarAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	refs := map[Opcode]func(a, b, c uint32) uint32{
+		Add:    func(a, b, _ uint32) uint32 { return a + b },
+		Sub:    func(a, b, _ uint32) uint32 { return a - b },
+		Rsb:    func(a, b, _ uint32) uint32 { return b - a },
+		Mul:    func(a, b, _ uint32) uint32 { return a * b },
+		And:    func(a, b, _ uint32) uint32 { return a & b },
+		Or:     func(a, b, _ uint32) uint32 { return a | b },
+		Xor:    func(a, b, _ uint32) uint32 { return a ^ b },
+		AndNot: func(a, b, _ uint32) uint32 { return a &^ b },
+		Not:    func(a, _, _ uint32) uint32 { return ^a },
+		Shl:    func(a, b, _ uint32) uint32 { return a << (b & 31) },
+		Shr:    func(a, b, _ uint32) uint32 { return a >> (b & 31) },
+		Sar:    func(a, b, _ uint32) uint32 { return uint32(int32(a) >> (b & 31)) },
+		Rotl: func(a, b, _ uint32) uint32 {
+			s := b & 31
+			if s == 0 {
+				return a
+			}
+			return a<<s | a>>(32-s)
+		},
+		Rotr: func(a, b, _ uint32) uint32 {
+			s := b & 31
+			if s == 0 {
+				return a
+			}
+			return a>>s | a<<(32-s)
+		},
+		CmpEq:  func(a, b, _ uint32) uint32 { return b2u(a == b) },
+		CmpNe:  func(a, b, _ uint32) uint32 { return b2u(a != b) },
+		CmpLtS: func(a, b, _ uint32) uint32 { return b2u(int32(a) < int32(b)) },
+		CmpLeS: func(a, b, _ uint32) uint32 { return b2u(int32(a) <= int32(b)) },
+		CmpLtU: func(a, b, _ uint32) uint32 { return b2u(a < b) },
+		CmpLeU: func(a, b, _ uint32) uint32 { return b2u(a <= b) },
+		Select: func(a, b, c uint32) uint32 {
+			if a != 0 {
+				return b
+			}
+			return c
+		},
+		SextB: func(a, _, _ uint32) uint32 { return uint32(int32(int8(a))) },
+		SextH: func(a, _, _ uint32) uint32 { return uint32(int32(int16(a))) },
+		ZextB: func(a, _, _ uint32) uint32 { return a & 0xFF },
+		ZextH: func(a, _, _ uint32) uint32 { return a & 0xFFFF },
+		Move:  func(a, _, _ uint32) uint32 { return a },
+		Div: func(a, b, _ uint32) uint32 {
+			if b == 0 {
+				return 0
+			}
+			return uint32(int32(a) / int32(b))
+		},
+		Rem: func(a, b, _ uint32) uint32 {
+			if b == 0 {
+				return 0
+			}
+			return uint32(int32(a) % int32(b))
+		},
+	}
+	interesting := []uint32{0, 1, 31, 32, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF}
+	for code, ref := range refs {
+		for trial := 0; trial < 40; trial++ {
+			var a, b, c uint32
+			if trial < len(interesting) {
+				a, b, c = interesting[trial], interesting[len(interesting)-1-trial%len(interesting)], 1
+			} else {
+				a, b, c = rng.Uint32(), rng.Uint32(), rng.Uint32()
+			}
+			if code == Div || code == Rem {
+				if int32(a) == math.MinInt32 && int32(b) == -1 {
+					continue // Go panics; hardware saturates — out of scope
+				}
+			}
+			args := []uint32{a, b, c}[:code.Arity()]
+			if got, want := EvalScalar(code, args), ref(a, b, c); got != want {
+				t.Fatalf("%s(%#x,%#x,%#x) = %#x, want %#x", code, a, b, c, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalScalarFloat(t *testing.T) {
+	bits := func(f float32) uint32 { return math.Float32bits(f) }
+	if EvalScalar(FAdd, []uint32{bits(1.5), bits(2.25)}) != bits(3.75) {
+		t.Fatal("fadd wrong")
+	}
+	if EvalScalar(FSub, []uint32{bits(5), bits(2)}) != bits(3) {
+		t.Fatal("fsub wrong")
+	}
+	if EvalScalar(FMul, []uint32{bits(3), bits(-2)}) != bits(-6) {
+		t.Fatal("fmul wrong")
+	}
+}
+
+func TestEvalScalarPanicsOnNonScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for load")
+		}
+	}()
+	EvalScalar(LoadW, []uint32{0})
+}
+
+// TestBuilderHelpersCoverAllOpcodes drives every typed builder helper and
+// checks the emitted opcode and operand count.
+func TestBuilderHelpersCoverAllOpcodes(t *testing.T) {
+	b := NewBlock("all", 1)
+	x, y, z := b.Arg(R(1)), b.Arg(R(2)), b.Arg(R(3))
+	twoArg := map[Opcode]func(Operand, Operand) Operand{
+		Add: b.Add, Sub: b.Sub, Rsb: b.Rsb, Mul: b.Mul, Div: b.Div, Rem: b.Rem,
+		And: b.And, Or: b.Or, Xor: b.Xor, AndNot: b.AndNot,
+		Shl: b.Shl, Shr: b.Shr, Sar: b.Sar, Rotl: b.Rotl, Rotr: b.Rotr,
+		CmpEq: b.CmpEq, CmpNe: b.CmpNe, CmpLtS: b.CmpLtS, CmpLeS: b.CmpLeS,
+		CmpLtU: b.CmpLtU, CmpLeU: b.CmpLeU,
+		FAdd: b.FAdd, FSub: b.FSub, FMul: b.FMul,
+	}
+	for code, fn := range twoArg {
+		v := fn(x, y)
+		if v.X.Code != code || len(v.X.Args) != 2 {
+			t.Errorf("%s helper emitted %v", code, v.X)
+		}
+	}
+	oneArg := map[Opcode]func(Operand) Operand{
+		Not: b.Not, SextB: b.SextB, SextH: b.SextH, ZextB: b.ZextB, ZextH: b.ZextH, Move: b.Move,
+		LoadW: b.Load, LoadB: b.LoadB, LoadH: b.LoadH,
+	}
+	for code, fn := range oneArg {
+		v := fn(x)
+		if v.X.Code != code || len(v.X.Args) != 1 {
+			t.Errorf("%s helper emitted %v", code, v.X)
+		}
+	}
+	if v := b.Select(x, y, z); v.X.Code != Select || len(v.X.Args) != 3 {
+		t.Error("select helper wrong")
+	}
+	for _, st := range []*Op{b.Store(x, y), b.StoreB(x, y), b.StoreH(x, y)} {
+		if !st.Code.IsStore() || len(st.Args) != 2 {
+			t.Errorf("store helper emitted %v", st)
+		}
+	}
+	if br := b.Branch(); br.Code != Br {
+		t.Error("branch helper wrong")
+	}
+	if v := b.ImmS(-3); v.Val != 0xFFFFFFFD {
+		t.Error("ImmS wrong")
+	}
+	// Custom emission and multi-result wiring.
+	ci := &CustomInst{Name: "c", Latency: 1, NumOut: 2}
+	op := b.EmitCustom(ci, x, y)
+	if op.Code != Custom || op.NumResults() != 2 || len(op.Dests) != 2 {
+		t.Errorf("EmitCustom emitted %v", op)
+	}
+	if s := op.OutN(1).String(); s == "" {
+		t.Error("OutN stringer empty")
+	}
+	b.EnsureNextID(1000)
+	if nxt := b.Emit(Nop); nxt.ID <= 1000 {
+		t.Errorf("EnsureNextID not honored: %d", nxt.ID)
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := NewProgram("p")
+	b := p.AddBlock("b", 2)
+	b.Def(R(2), b.Add(b.Arg(R(1)), b.Imm(1)))
+	if p.Block("b") != b || p.Block("missing") != nil {
+		t.Fatal("Block lookup wrong")
+	}
+	if p.NumOps() != 1 {
+		t.Fatalf("NumOps = %d", p.NumOps())
+	}
+	if p.String() == "" || p.Clone().String() != p.String() {
+		t.Fatal("program stringer/clone wrong")
+	}
+}

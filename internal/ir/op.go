@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg names a virtual register. Register 0 is reserved as "no register".
+type Reg uint16
+
+// SpillBase is the start of the memory region reserved for register-
+// allocator spill slots. Programs must keep their data below it; tools that
+// compare memory behaviour treat addresses at or above it as invisible.
+const SpillBase uint32 = 0xFFF00000
+
+// R is a convenience constructor for virtual register names.
+func R(i int) Reg { return Reg(i) }
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint16(r)) }
+
+// OperandKind discriminates the three value sources an operand can name.
+type OperandKind uint8
+
+const (
+	// FromOp reads the result of another operation in the same block.
+	FromOp OperandKind = iota
+	// FromReg reads a virtual register that is live into the block.
+	FromReg
+	// Imm is an immediate constant.
+	Imm
+)
+
+// Operand is a use of a value. Operands, not nodes, carry constants and
+// block live-ins, so DFG nodes are exactly the computations.
+type Operand struct {
+	Kind OperandKind
+	X    *Op    // producing op when Kind == FromOp
+	Idx  int    // result index of X (nonzero only for Custom ops)
+	Reg  Reg    // register when Kind == FromReg
+	Val  uint32 // constant when Kind == Imm
+}
+
+// SameValue reports whether two operands name the same runtime value.
+func (a Operand) SameValue(b Operand) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case FromOp:
+		return a.X == b.X && a.Idx == b.Idx
+	case FromReg:
+		return a.Reg == b.Reg
+	default:
+		return a.Val == b.Val
+	}
+}
+
+func (a Operand) String() string {
+	switch a.Kind {
+	case FromOp:
+		if a.Idx != 0 {
+			return fmt.Sprintf("%%%d.%d", a.X.ID, a.Idx)
+		}
+		return fmt.Sprintf("%%%d", a.X.ID)
+	case FromReg:
+		return a.Reg.String()
+	default:
+		return fmt.Sprintf("#%#x", a.Val)
+	}
+}
+
+// MemoryAccessor is the read-only memory view a memory-bearing custom
+// instruction evaluates against (implemented by the simulator state).
+type MemoryAccessor interface {
+	LoadWord(addr uint32) uint32
+}
+
+// CustomInst carries the semantics of an inserted CFU invocation. The
+// compiler builds one per selected CFU so that downstream stages (scheduler,
+// simulator) need no knowledge of pattern graphs.
+type CustomInst struct {
+	// Name is the CFU's mnemonic, e.g. "cfu3<shl-and-add>".
+	Name string
+	// Latency is the whole-cycle latency of the (pipelined) unit.
+	Latency int
+	// NumOut is the number of results produced.
+	NumOut int
+	// Eval computes the results from the bound external inputs. It is built
+	// from the matched pattern and used by the functional simulator.
+	Eval func(args []uint32) []uint32
+	// UsesMemory marks a unit containing load operations (the paper's
+	// relaxed-memory future work). Such a unit issues on both the integer
+	// and memory slots, is ordered like a load against stores, and
+	// evaluates through EvalMem instead of Eval.
+	UsesMemory bool
+	// EvalMem computes the results with access to memory; set exactly
+	// when UsesMemory is true.
+	EvalMem func(args []uint32, mem MemoryAccessor) []uint32
+}
+
+// Op is a single primitive operation: one node of the block's DFG.
+type Op struct {
+	// ID is unique within the containing block and stable across edits.
+	ID   int
+	Code Opcode
+	Args []Operand
+	// Dest, when nonzero, names the virtual register this op defines for
+	// consumers outside the block (a live-out). Values consumed inside the
+	// block flow through explicit FromOp operands instead.
+	Dest Reg
+	// Dests holds the live-out registers of a multi-result Custom op,
+	// parallel to its result indices. Nil for primitive ops.
+	Dests []Reg
+	// Custom is non-nil exactly when Code == Custom.
+	Custom *CustomInst
+}
+
+// NumResults reports how many values the op produces.
+func (o *Op) NumResults() int {
+	if o.Code == Custom {
+		return o.Custom.NumOut
+	}
+	if o.Code.HasResult() {
+		return 1
+	}
+	return 0
+}
+
+// Out returns an operand reading the op's (single) result.
+func (o *Op) Out() Operand { return Operand{Kind: FromOp, X: o} }
+
+// OutN returns an operand reading result index i of a Custom op.
+func (o *Op) OutN(i int) Operand { return Operand{Kind: FromOp, X: o, Idx: i} }
+
+func (o *Op) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%%%d = ", o.ID)
+	if o.Code == Custom {
+		sb.WriteString(o.Custom.Name)
+	} else {
+		sb.WriteString(o.Code.String())
+	}
+	for i, a := range o.Args {
+		if i == 0 {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	if o.Dest != 0 {
+		fmt.Fprintf(&sb, " -> %s", o.Dest)
+	}
+	for i, r := range o.Dests {
+		if r != 0 {
+			fmt.Fprintf(&sb, " [%d]-> %s", i, r)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,223 @@
+// Package ir defines the generic RISC intermediate representation consumed by
+// the instruction-set customization system.
+//
+// The representation mirrors the paper's input artifact: profiled,
+// unscheduled assembly code over virtual registers, organized as basic
+// blocks whose operations form an explicit dataflow graph (DFG). Operations
+// are primitive, atomic RISC operations (Add, Xor, Load, ...); constants and
+// live-in registers appear as operands rather than nodes, so every DFG node
+// is a real computation.
+package ir
+
+import "fmt"
+
+// Opcode identifies a primitive operation of the generic RISC architecture.
+// The set and the latencies assigned to it by internal/machine are modeled on
+// the ARM-7, per the paper's experimental setup.
+type Opcode uint8
+
+// Primitive opcodes. Values are stable within a process but not an ABI.
+const (
+	Nop Opcode = iota
+
+	// Integer arithmetic.
+	Add
+	Sub
+	Rsb // reverse subtract: b - a (ARM RSB)
+	Mul
+	Div // signed divide (never placed in CFUs by the default library)
+	Rem // signed remainder
+
+	// Bitwise logical.
+	And
+	Or
+	Xor
+	AndNot // a &^ b (ARM BIC)
+	Not    // ^a (ARM MVN)
+
+	// Shifts and rotates. Shift amounts are taken modulo 32.
+	Shl
+	Shr // logical right shift
+	Sar // arithmetic right shift
+	Rotl
+	Rotr
+
+	// Comparisons, producing 0 or 1.
+	CmpEq
+	CmpNe
+	CmpLtS
+	CmpLeS
+	CmpLtU
+	CmpLeU
+
+	// Select: args (cond, a, b) yields a when cond != 0, else b.
+	Select
+
+	// Width changes.
+	SextB
+	SextH
+	ZextB
+	ZextH
+
+	// Register move.
+	Move
+
+	// Memory. Load takes (addr); Store takes (addr, value).
+	LoadW
+	LoadB
+	LoadH
+	StoreW
+	StoreB
+	StoreH
+
+	// Floating point (IEEE-754 single, stored in the 32-bit registers).
+	FAdd
+	FSub
+	FMul
+
+	// Control flow terminators.
+	Br     // unconditional branch
+	BrCond // conditional branch: args (cond)
+	Ret    // return: optional arg (value)
+
+	// Custom is a CFU invocation inserted by the compiler. It never appears
+	// in source programs; its semantics live in Op.Custom.
+	Custom
+
+	numOpcodes
+)
+
+// MaxOpcode is one past the largest defined opcode, usable as a
+// compile-time array bound for per-opcode tables.
+const MaxOpcode = numOpcodes
+
+var opcodeNames = [numOpcodes]string{
+	Nop: "nop",
+	Add: "add", Sub: "sub", Rsb: "rsb", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", AndNot: "bic", Not: "mvn",
+	Shl: "shl", Shr: "shr", Sar: "sar", Rotl: "rotl", Rotr: "rotr",
+	CmpEq: "cmpeq", CmpNe: "cmpne", CmpLtS: "cmplt", CmpLeS: "cmple",
+	CmpLtU: "cmpltu", CmpLeU: "cmpleu",
+	Select: "select",
+	SextB:  "sextb", SextH: "sexth", ZextB: "zextb", ZextH: "zexth",
+	Move:  "mov",
+	LoadW: "ldw", LoadB: "ldb", LoadH: "ldh",
+	StoreW: "stw", StoreB: "stb", StoreH: "sth",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul",
+	Br: "br", BrCond: "brcond", Ret: "ret",
+	Custom: "custom",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (c Opcode) String() string {
+	if int(c) < len(opcodeNames) && opcodeNames[c] != "" {
+		return opcodeNames[c]
+	}
+	return fmt.Sprintf("op(%d)", uint8(c))
+}
+
+// NumOpcodes reports the number of defined opcodes, for table sizing.
+func NumOpcodes() int { return int(numOpcodes) }
+
+// IsMemory reports whether the opcode reads or writes memory.
+func (c Opcode) IsMemory() bool {
+	switch c {
+	case LoadW, LoadB, LoadH, StoreW, StoreB, StoreH:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the opcode reads memory.
+func (c Opcode) IsLoad() bool { return c == LoadW || c == LoadB || c == LoadH }
+
+// IsStore reports whether the opcode writes memory.
+func (c Opcode) IsStore() bool { return c == StoreW || c == StoreB || c == StoreH }
+
+// IsBranch reports whether the opcode is a control-flow terminator.
+func (c Opcode) IsBranch() bool { return c == Br || c == BrCond || c == Ret }
+
+// IsFloat reports whether the opcode executes on the floating-point slot.
+func (c Opcode) IsFloat() bool { return c == FAdd || c == FSub || c == FMul }
+
+// HasResult reports whether the opcode produces a value.
+func (c Opcode) HasResult() bool {
+	switch c {
+	case Nop, StoreW, StoreB, StoreH, Br, BrCond, Ret:
+		return false
+	}
+	return true
+}
+
+// IsCommutative reports whether the first two operands may be exchanged
+// without changing the result. Used when grouping isomorphic candidate
+// subgraphs and when matching CFU patterns.
+func (c Opcode) IsCommutative() bool {
+	switch c {
+	case Add, Mul, And, Or, Xor, CmpEq, CmpNe, FAdd, FMul:
+		return true
+	}
+	return false
+}
+
+// Arity returns the number of value operands the opcode consumes, or -1 if
+// variable (Custom).
+func (c Opcode) Arity() int {
+	switch c {
+	case Nop, Br:
+		return 0
+	case Not, Move, SextB, SextH, ZextB, ZextH, LoadW, LoadB, LoadH, BrCond, Ret:
+		return 1
+	case Select:
+		return 3
+	case Custom:
+		return -1
+	}
+	return 2
+}
+
+// Identity describes how an operation can be made to pass one operand
+// through unchanged by pinning another operand to a constant. This is the
+// basis of the paper's "subsumed subgraph" generalization: a CFU containing
+// an Add can execute patterns missing that Add by driving its second input
+// with 0.
+type Identity struct {
+	// PassArg is the operand index whose value is forwarded to the result.
+	PassArg int
+	// ConstArg is the operand index pinned to ConstVal.
+	ConstArg int
+	// ConstVal is the neutral element.
+	ConstVal uint32
+}
+
+// Identities returns the ways the opcode can act as a pass-through, in
+// preference order. Opcodes with no neutral element return nil.
+func (c Opcode) Identities() []Identity {
+	switch c {
+	case Add, Or, Xor:
+		ids := []Identity{{PassArg: 0, ConstArg: 1, ConstVal: 0}}
+		if c.IsCommutative() {
+			ids = append(ids, Identity{PassArg: 1, ConstArg: 0, ConstVal: 0})
+		}
+		return ids
+	case Sub, AndNot, Shl, Shr, Sar, Rotl, Rotr:
+		return []Identity{{PassArg: 0, ConstArg: 1, ConstVal: 0}}
+	case And:
+		return []Identity{
+			{PassArg: 0, ConstArg: 1, ConstVal: 0xFFFFFFFF},
+			{PassArg: 1, ConstArg: 0, ConstVal: 0xFFFFFFFF},
+		}
+	case Mul:
+		return []Identity{
+			{PassArg: 0, ConstArg: 1, ConstVal: 1},
+			{PassArg: 1, ConstArg: 0, ConstVal: 1},
+		}
+	case Select:
+		// cond pinned nonzero passes arg 1; pinned zero passes arg 2.
+		return []Identity{
+			{PassArg: 1, ConstArg: 0, ConstVal: 1},
+			{PassArg: 2, ConstArg: 0, ConstVal: 0},
+		}
+	}
+	return nil
+}

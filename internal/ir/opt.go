@@ -1,0 +1,138 @@
+package ir
+
+import "fmt"
+
+// DCE removes operations whose results are never consumed: no data users,
+// no live-out register, and no side effects (memory writes, control flow).
+// Loads are also removed when dead — a load has no architecturally visible
+// effect in this machine model. Returns the number of ops removed.
+func DCE(b *Block) int {
+	removed := 0
+	for {
+		users := make(map[*Op]int)
+		for _, op := range b.Ops {
+			for _, a := range op.Args {
+				if a.Kind == FromOp {
+					users[a.X]++
+				}
+			}
+		}
+		kept := b.Ops[:0]
+		n := 0
+		for _, op := range b.Ops {
+			dead := op.NumResults() > 0 || op.Code == Nop
+			if users[op] > 0 || op.Dest != 0 {
+				dead = false
+			}
+			for _, r := range op.Dests {
+				if r != 0 {
+					dead = false
+				}
+			}
+			if op.Code.IsStore() || op.Code.IsBranch() {
+				dead = false
+			}
+			if dead {
+				n++
+				continue
+			}
+			kept = append(kept, op)
+		}
+		b.Ops = kept
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+// CSE merges operations that compute identical expressions: same opcode
+// and the same operand values (commutative operands compared order-
+// insensitively). Memory and control operations are never merged. When a
+// duplicate carries a live-out register, the definition moves to a Move of
+// the representative's value, preserving the one-writer-per-register rule.
+// Returns the number of ops eliminated.
+//
+// CSE before CFU matching is profitable in both directions: merged
+// subexpressions turn several partial occurrences into one complete one,
+// and the dead duplicates stop inflating the baseline cycle count.
+func CSE(b *Block) int {
+	type vnKey string
+	repr := make(map[vnKey]*Op)
+	replacement := make(map[*Op]*Op)
+
+	operandKey := func(a Operand) string {
+		// Resolve through earlier replacements so chains collapse in one pass.
+		if a.Kind == FromOp {
+			if r, ok := replacement[a.X]; ok {
+				a.X = r
+			}
+			return fmt.Sprintf("o%d.%d", a.X.ID, a.Idx)
+		}
+		if a.Kind == FromReg {
+			return fmt.Sprintf("r%d", a.Reg)
+		}
+		return fmt.Sprintf("#%d", a.Val)
+	}
+	keyOf := func(op *Op) (vnKey, bool) {
+		if op.Code.IsMemory() || op.Code.IsBranch() || op.Code == Custom || op.Code == Nop {
+			return "", false
+		}
+		parts := make([]string, len(op.Args))
+		for i, a := range op.Args {
+			parts[i] = operandKey(a)
+		}
+		if op.Code.IsCommutative() && len(parts) >= 2 {
+			if parts[0] > parts[1] {
+				parts[0], parts[1] = parts[1], parts[0]
+			}
+		}
+		k := op.Code.String()
+		for _, p := range parts {
+			k += "|" + p
+		}
+		return vnKey(k), true
+	}
+
+	eliminated := 0
+	kept := b.Ops[:0]
+	for _, op := range b.Ops {
+		// Rewire operands through replacements first.
+		for i := range op.Args {
+			if op.Args[i].Kind == FromOp {
+				if r, ok := replacement[op.Args[i].X]; ok {
+					op.Args[i].X = r
+				}
+			}
+		}
+		k, ok := keyOf(op)
+		if !ok {
+			kept = append(kept, op)
+			continue
+		}
+		if rep, dup := repr[k]; dup {
+			replacement[op] = rep
+			eliminated++
+			if op.Dest != 0 {
+				// Keep the architectural definition as a register move.
+				op.Code = Move
+				op.Args = []Operand{rep.Out()}
+				kept = append(kept, op)
+			}
+			continue
+		}
+		repr[k] = op
+		kept = append(kept, op)
+	}
+	b.Ops = kept
+	return eliminated
+}
+
+// Optimize runs CSE then DCE on every block of p, returning totals.
+func Optimize(p *Program) (cse, dce int) {
+	for _, b := range p.Blocks {
+		cse += CSE(b)
+		dce += DCE(b)
+	}
+	return cse, dce
+}

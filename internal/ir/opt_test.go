@@ -1,0 +1,156 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDCERemovesDeadChains(t *testing.T) {
+	b := NewBlock("d", 1)
+	x := b.Arg(R(1))
+	live := b.Add(x, b.Imm(1))
+	dead1 := b.Mul(x, b.Imm(3))
+	_ = b.Xor(dead1, x) // dead chain of two
+	deadLoad := b.Load(x)
+	_ = deadLoad
+	b.Def(R(2), live)
+	if n := DCE(b); n != 3 {
+		t.Fatalf("removed %d, want 3", n)
+	}
+	if len(b.Ops) != 1 {
+		t.Fatalf("ops left = %d", len(b.Ops))
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	b := NewBlock("s", 1)
+	x := b.Arg(R(1))
+	b.Store(x, b.Imm(1))
+	b.BranchIf(b.CmpEq(x, b.Imm(0)))
+	if n := DCE(b); n != 0 {
+		t.Fatalf("removed %d side-effecting ops", n)
+	}
+}
+
+func TestCSEMergesCommutative(t *testing.T) {
+	b := NewBlock("c", 1)
+	x, y := b.Arg(R(1)), b.Arg(R(2))
+	a1 := b.Add(x, y)
+	a2 := b.Add(y, x) // commutative duplicate
+	s := b.Sub(a1, a2)
+	b.Def(R(3), s)
+	if n := CSE(b); n != 1 {
+		t.Fatalf("eliminated %d, want 1", n)
+	}
+	DCE(b)
+	// After CSE, sub's operands are the same op.
+	sub := b.Ops[len(b.Ops)-1]
+	if sub.Args[0].X != sub.Args[1].X {
+		t.Fatal("operands not unified")
+	}
+}
+
+func TestCSEDoesNotMergeLoadsOrAcrossOrder(t *testing.T) {
+	b := NewBlock("m", 1)
+	x := b.Arg(R(1))
+	l1 := b.Load(x)
+	b.Store(x, b.Imm(5))
+	l2 := b.Load(x) // must not merge with l1 across the store
+	b.Def(R(2), b.Add(l1, l2))
+	if n := CSE(b); n != 0 {
+		t.Fatalf("merged %d memory ops", n)
+	}
+}
+
+func TestCSEPreservesLiveOutRegisters(t *testing.T) {
+	b := NewBlock("lo", 1)
+	x, y := b.Arg(R(1)), b.Arg(R(2))
+	b.Def(R(3), b.Add(x, y))
+	b.Def(R(4), b.Add(x, y)) // duplicate with its own live-out
+	if n := CSE(b); n != 1 {
+		t.Fatalf("eliminated %d, want 1", n)
+	}
+	if err := Validate(&Program{Blocks: []*Block{b}}); err != nil {
+		t.Fatalf("invalid after CSE: %v", err)
+	}
+	// The duplicate must have become a Move defining r4.
+	found := false
+	for _, op := range b.Ops {
+		if op.Code == Move && op.Dest == R(4) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("live-out duplicate not converted to a move")
+	}
+}
+
+func TestCSEChainsCollapse(t *testing.T) {
+	// Two identical two-level expressions collapse fully in one pass.
+	b := NewBlock("ch", 1)
+	x, y := b.Arg(R(1)), b.Arg(R(2))
+	e1 := b.Xor(b.Add(x, y), b.Imm(7))
+	e2 := b.Xor(b.Add(x, y), b.Imm(7))
+	b.Def(R(3), b.Or(e1, e2))
+	if n := CSE(b); n != 2 {
+		t.Fatalf("eliminated %d, want 2", n)
+	}
+}
+
+// Property: CSE + DCE preserve block semantics on random programs.
+func TestQuickOptimizeSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		b := randomBlock(seed, 20)
+		orig := b.Clone()
+		CSE(b)
+		DCE(b)
+		if Validate(&Program{Blocks: []*Block{b}}) != nil {
+			return false
+		}
+		// Interpret both on matched inputs (scalar-only generator).
+		eval := func(blk *Block, r1, r2 uint32) uint32 {
+			vals := map[*Op]uint32{}
+			regs := map[Reg]uint32{R(1): r1, R(2): r2}
+			var out uint32
+			for _, op := range blk.Ops {
+				args := make([]uint32, len(op.Args))
+				for i, a := range op.Args {
+					switch a.Kind {
+					case FromOp:
+						args[i] = vals[a.X]
+					case FromReg:
+						args[i] = regs[a.Reg]
+					default:
+						args[i] = a.Val
+					}
+				}
+				vals[op] = EvalScalar(op.Code, args)
+				if op.Dest == R(3) {
+					out = vals[op]
+				}
+			}
+			return out
+		}
+		for _, in := range [][2]uint32{{0, 0}, {1, 2}, {0xFFFFFFFF, 7}, {uint32(seed), ^uint32(seed)}} {
+			if eval(orig, in[0], in[1]) != eval(b, in[0], in[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfgIR(50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeProgram(t *testing.T) {
+	p := NewProgram("o")
+	b := p.AddBlock("b", 1)
+	x := b.Arg(R(1))
+	b.Def(R(2), b.Add(b.Mul(x, x), b.Mul(x, x)))
+	_ = b.Sub(x, x) // dead
+	cse, dce := Optimize(p)
+	if cse != 1 || dce != 1 {
+		t.Fatalf("cse=%d dce=%d, want 1,1", cse, dce)
+	}
+}

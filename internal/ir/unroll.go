@@ -1,0 +1,98 @@
+package ir
+
+import "fmt"
+
+// Unroll builds the straight-line expansion of executing b `factor` times
+// back to back: each iteration's live-out register writes feed the next
+// iteration's register reads, exposing cross-iteration subgraphs to the
+// explorer — the paper notes loop unrolling as the standard way large basic
+// blocks (and large CFU candidates) arise.
+//
+// The block's profile weight is divided by factor, preserving total work.
+// Terminators are kept only on the final iteration: like any profile-guided
+// unroller, the transformation assumes the loop branch falls through on
+// intermediate iterations.
+func Unroll(b *Block, factor int) (*Block, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("ir: unroll factor %d", factor)
+	}
+	if factor == 1 {
+		return b.Clone(), nil
+	}
+	out := NewBlock(b.Name, b.Weight/float64(factor))
+	out.Succs = append([]string(nil), b.Succs...)
+
+	// regVal maps a register to the operand carrying its value after the
+	// iterations emitted so far.
+	regVal := map[Reg]Operand{}
+
+	for iter := 0; iter < factor; iter++ {
+		last := iter == factor-1
+		remap := make(map[*Op]*Op, len(b.Ops))
+		for _, op := range b.Ops {
+			if op.Code.IsBranch() && !last {
+				continue
+			}
+			no := out.Emit(op.Code)
+			no.Custom = op.Custom
+			if op.Dests != nil {
+				no.Dests = make([]Reg, len(op.Dests))
+			}
+			for _, a := range op.Args {
+				switch a.Kind {
+				case FromOp:
+					ref := remap[a.X]
+					if ref == nil {
+						return nil, fmt.Errorf("ir: unroll: op %%%d uses a value from a dropped terminator", op.ID)
+					}
+					no.Args = append(no.Args, Operand{Kind: FromOp, X: ref, Idx: a.Idx})
+				case FromReg:
+					if v, ok := regVal[a.Reg]; ok {
+						no.Args = append(no.Args, v)
+					} else {
+						no.Args = append(no.Args, a)
+					}
+				default:
+					no.Args = append(no.Args, a)
+				}
+			}
+			remap[op] = no
+		}
+		// Record this iteration's register writes for the next; only the
+		// final iteration keeps architectural Dests.
+		for _, op := range b.Ops {
+			no := remap[op]
+			if no == nil {
+				continue
+			}
+			if op.Dest != 0 {
+				regVal[op.Dest] = no.Out()
+				if last {
+					no.Dest = op.Dest
+				}
+			}
+			for k, r := range op.Dests {
+				if r != 0 {
+					regVal[r] = no.OutN(k)
+					if last {
+						no.Dests[k] = r
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnrollProgram unrolls every block of p by factor.
+func UnrollProgram(p *Program, factor int) (*Program, error) {
+	np := NewProgram(p.Name)
+	for _, b := range p.Blocks {
+		nb, err := Unroll(b, factor)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		np.Blocks = append(np.Blocks, nb)
+	}
+	return np, nil
+}

@@ -1,0 +1,166 @@
+package ir
+
+import "testing"
+
+// iterBlock computes r2 = r2*3 + r1 (one loop iteration).
+func iterBlock() *Block {
+	b := NewBlock("loop", 100)
+	acc := b.Arg(R(2))
+	x := b.Arg(R(1))
+	t := b.Add(b.Mul(acc, b.Imm(3)), x)
+	b.Def(R(2), t)
+	return b
+}
+
+// evalOnce interprets a branch-free block over a register file.
+func evalOnce(b *Block, regs map[Reg]uint32) {
+	vals := map[*Op]uint32{}
+	get := func(a Operand) uint32 {
+		switch a.Kind {
+		case FromOp:
+			return vals[a.X]
+		case FromReg:
+			return regs[a.Reg]
+		default:
+			return a.Val
+		}
+	}
+	pending := map[Reg]uint32{}
+	for _, op := range b.Ops {
+		if op.Code.IsBranch() {
+			continue
+		}
+		args := make([]uint32, len(op.Args))
+		for i, a := range op.Args {
+			args[i] = get(a)
+		}
+		vals[op] = EvalScalar(op.Code, args)
+		if op.Dest != 0 {
+			pending[op.Dest] = vals[op]
+		}
+	}
+	for r, v := range pending {
+		regs[r] = v
+	}
+}
+
+func TestUnrollSemantics(t *testing.T) {
+	b := iterBlock()
+	for _, factor := range []int{1, 2, 3, 7} {
+		u, err := Unroll(b, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(&Program{Blocks: []*Block{u}}); err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		// Reference: run the original block factor times.
+		ref := map[Reg]uint32{R(1): 7, R(2): 1}
+		for i := 0; i < factor; i++ {
+			evalOnce(b, ref)
+		}
+		got := map[Reg]uint32{R(1): 7, R(2): 1}
+		evalOnce(u, got)
+		if got[R(2)] != ref[R(2)] {
+			t.Fatalf("factor %d: unrolled %d, want %d", factor, got[R(2)], ref[R(2)])
+		}
+	}
+}
+
+func TestUnrollWeightAndSize(t *testing.T) {
+	b := iterBlock()
+	u, err := Unroll(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 4*len(b.Ops) {
+		t.Fatalf("ops = %d, want %d", len(u.Ops), 4*len(b.Ops))
+	}
+	if u.Weight != b.Weight/4 {
+		t.Fatalf("weight = %v, want %v", u.Weight, b.Weight/4)
+	}
+}
+
+func TestUnrollKeepsOnlyFinalTerminator(t *testing.T) {
+	b := iterBlock()
+	b.BranchIf(b.CmpNe(b.Arg(R(2)), b.Imm(0)))
+	u, err := Unroll(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := 0
+	for _, op := range u.Ops {
+		if op.Code.IsBranch() {
+			branches++
+		}
+	}
+	if branches != 1 || !u.Ops[len(u.Ops)-1].Code.IsBranch() {
+		t.Fatalf("branches = %d (last is branch: %v)", branches,
+			u.Ops[len(u.Ops)-1].Code.IsBranch())
+	}
+	if err := Validate(&Program{Blocks: []*Block{u}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnrollIntermediateDestsCleared(t *testing.T) {
+	b := iterBlock()
+	u, err := Unroll(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for _, op := range u.Ops {
+		if op.Dest != 0 {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("register writes = %d, want only the final iteration's", writes)
+	}
+}
+
+func TestUnrollMemoryOrderPreserved(t *testing.T) {
+	b := NewBlock("mem", 10)
+	addr := b.Arg(R(1))
+	v := b.Load(addr)
+	b.Store(addr, b.Add(v, b.Imm(1)))
+	u, err := Unroll(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order must be load,store,load,store.
+	var codes []Opcode
+	for _, op := range u.Ops {
+		if op.Code.IsMemory() {
+			codes = append(codes, op.Code)
+		}
+	}
+	want := []Opcode{LoadW, StoreW, LoadW, StoreW}
+	if len(codes) != len(want) {
+		t.Fatalf("memory ops = %v", codes)
+	}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("memory ops = %v, want %v", codes, want)
+		}
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	if _, err := Unroll(iterBlock(), 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+}
+
+func TestUnrollProgram(t *testing.T) {
+	p := NewProgram("p")
+	p.Blocks = append(p.Blocks, iterBlock(), iterBlock())
+	up, err := UnrollProgram(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up.Blocks) != 2 || len(up.Blocks[0].Ops) != 2*len(p.Blocks[0].Ops) {
+		t.Fatal("program unroll wrong")
+	}
+}

@@ -1,0 +1,127 @@
+// Package machine describes the baseline processor of the paper's
+// evaluation: a four-wide VLIW that can issue one integer, one
+// floating-point, one memory and one branch operation per cycle, with an
+// instruction set and latencies similar to the ARM-7, clocked at 300 MHz.
+//
+// Custom function units issue on the integer slot, so an ordinary integer
+// operation and a CFU cannot execute in the same cycle — the paper's device
+// for ensuring measured speedups come from the custom instructions rather
+// than from added issue width.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// SlotKind is one of the VLIW issue slots.
+type SlotKind uint8
+
+// Issue slots of the baseline machine.
+const (
+	SlotInt SlotKind = iota
+	SlotFP
+	SlotMem
+	SlotBranch
+	numSlots
+)
+
+func (s SlotKind) String() string {
+	switch s {
+	case SlotInt:
+		return "int"
+	case SlotFP:
+		return "fp"
+	case SlotMem:
+		return "mem"
+	case SlotBranch:
+		return "branch"
+	}
+	return "?"
+}
+
+// NumSlotKinds reports the number of slot kinds, for table sizing.
+func NumSlotKinds() int { return int(numSlots) }
+
+// Desc is a machine description.
+type Desc struct {
+	Name string
+	// IssueWidth[k] is how many ops of slot kind k issue per cycle.
+	IssueWidth [numSlots]int
+	// IntRegs is the architected integer register count for allocation.
+	IntRegs int
+	// ClockMHz is the system clock (informational; latencies are cycles).
+	ClockMHz float64
+	// latency per opcode (Custom resolved per-op).
+	latency [ir.MaxOpcode]int
+}
+
+// Default4Wide returns the paper's baseline: 1 int + 1 fp + 1 mem + 1
+// branch per cycle, ARM7-like latencies, 32 integer registers, 300 MHz.
+func Default4Wide() *Desc {
+	d := &Desc{Name: "4wide-vliw-arm7", IntRegs: 32, ClockMHz: 300}
+	d.IssueWidth[SlotInt] = 1
+	d.IssueWidth[SlotFP] = 1
+	d.IssueWidth[SlotMem] = 1
+	d.IssueWidth[SlotBranch] = 1
+	for c := ir.Opcode(0); c < ir.MaxOpcode; c++ {
+		d.latency[c] = 1
+	}
+	d.latency[ir.Mul] = 3
+	d.latency[ir.Div] = 10
+	d.latency[ir.Rem] = 10
+	d.latency[ir.LoadW] = 2
+	d.latency[ir.LoadB] = 2
+	d.latency[ir.LoadH] = 2
+	d.latency[ir.FAdd] = 3
+	d.latency[ir.FSub] = 3
+	d.latency[ir.FMul] = 3
+	return d
+}
+
+// SlotOf returns the issue slot an opcode occupies. Custom instructions
+// use the integer slot.
+func (d *Desc) SlotOf(code ir.Opcode) SlotKind {
+	switch {
+	case code.IsMemory():
+		return SlotMem
+	case code.IsBranch():
+		return SlotBranch
+	case code.IsFloat():
+		return SlotFP
+	default:
+		return SlotInt
+	}
+}
+
+// SlotsOf returns every issue slot an operation occupies in its issue
+// cycle. Ordinary operations use one slot; a custom instruction containing
+// loads occupies the integer slot and the memory slot (its cache port).
+func (d *Desc) SlotsOf(op *ir.Op) []SlotKind {
+	if op.Code == ir.Custom && op.Custom != nil && op.Custom.UsesMemory {
+		return []SlotKind{SlotInt, SlotMem}
+	}
+	return []SlotKind{d.SlotOf(op.Code)}
+}
+
+// Latency returns the whole-cycle result latency of an operation.
+func (d *Desc) Latency(op *ir.Op) int {
+	if op.Code == ir.Custom {
+		if op.Custom.Latency < 1 {
+			return 1
+		}
+		return op.Custom.Latency
+	}
+	return d.latency[op.Code]
+}
+
+// OpcodeLatency returns the latency table entry for a primitive opcode.
+func (d *Desc) OpcodeLatency(code ir.Opcode) int { return d.latency[code] }
+
+// String summarizes the machine.
+func (d *Desc) String() string {
+	return fmt.Sprintf("%s (%dint/%dfp/%dmem/%dbr per cycle, %d regs, %.0f MHz)",
+		d.Name, d.IssueWidth[SlotInt], d.IssueWidth[SlotFP],
+		d.IssueWidth[SlotMem], d.IssueWidth[SlotBranch], d.IntRegs, d.ClockMHz)
+}

@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestDefault4WideShape(t *testing.T) {
+	m := Default4Wide()
+	// The paper's baseline: one of each slot per cycle, 300 MHz.
+	for _, k := range []SlotKind{SlotInt, SlotFP, SlotMem, SlotBranch} {
+		if m.IssueWidth[k] != 1 {
+			t.Errorf("slot %s width = %d, want 1", k, m.IssueWidth[k])
+		}
+	}
+	if m.ClockMHz != 300 || m.IntRegs != 32 {
+		t.Fatalf("clock/regs = %v/%v", m.ClockMHz, m.IntRegs)
+	}
+	if NumSlotKinds() != 4 {
+		t.Fatal("slot kind count wrong")
+	}
+}
+
+func TestLatenciesARM7Like(t *testing.T) {
+	m := Default4Wide()
+	if m.OpcodeLatency(ir.Add) != 1 || m.OpcodeLatency(ir.Xor) != 1 {
+		t.Fatal("ALU ops must be single cycle")
+	}
+	if m.OpcodeLatency(ir.Mul) <= 1 || m.OpcodeLatency(ir.LoadW) <= 1 {
+		t.Fatal("mul and load must be multi-cycle")
+	}
+	if m.OpcodeLatency(ir.Div) <= m.OpcodeLatency(ir.Mul) {
+		t.Fatal("divide must be slower than multiply")
+	}
+}
+
+func TestSlotAssignment(t *testing.T) {
+	m := Default4Wide()
+	cases := map[ir.Opcode]SlotKind{
+		ir.Add: SlotInt, ir.Select: SlotInt, ir.Custom: SlotInt,
+		ir.LoadW: SlotMem, ir.StoreB: SlotMem,
+		ir.Br: SlotBranch, ir.Ret: SlotBranch,
+		ir.FAdd: SlotFP, ir.FMul: SlotFP,
+	}
+	for code, want := range cases {
+		if got := m.SlotOf(code); got != want {
+			t.Errorf("SlotOf(%s) = %s, want %s", code, got, want)
+		}
+	}
+}
+
+func TestSlotsOfMemoryCustom(t *testing.T) {
+	m := Default4Wide()
+	plain := &ir.Op{Code: ir.Custom, Custom: &ir.CustomInst{Latency: 1, NumOut: 1}}
+	if got := m.SlotsOf(plain); len(got) != 1 || got[0] != SlotInt {
+		t.Fatalf("plain custom slots = %v", got)
+	}
+	memCFU := &ir.Op{Code: ir.Custom, Custom: &ir.CustomInst{Latency: 3, NumOut: 1, UsesMemory: true}}
+	got := m.SlotsOf(memCFU)
+	if len(got) != 2 || got[0] != SlotInt || got[1] != SlotMem {
+		t.Fatalf("memory custom slots = %v, want [int mem]", got)
+	}
+	if got := m.SlotsOf(&ir.Op{Code: ir.LoadW}); len(got) != 1 || got[0] != SlotMem {
+		t.Fatalf("load slots = %v", got)
+	}
+}
+
+func TestCustomLatencyFloor(t *testing.T) {
+	m := Default4Wide()
+	op := &ir.Op{Code: ir.Custom, Custom: &ir.CustomInst{Latency: 0, NumOut: 1}}
+	if m.Latency(op) != 1 {
+		t.Fatal("zero custom latency must clamp to 1")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	m := Default4Wide()
+	s := m.String()
+	for _, want := range []string{"1int", "1fp", "1mem", "1br", "300 MHz"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("machine string missing %q: %s", want, s)
+		}
+	}
+	if SlotKind(99).String() != "?" {
+		t.Error("unknown slot stringer")
+	}
+}

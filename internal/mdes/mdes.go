@@ -1,0 +1,94 @@
+// Package mdes defines the machine description the hardware compiler emits
+// and the retargetable software compiler consumes. It is the interchange
+// format between the two halves of the system: a prioritized list of custom
+// function units with their patterns, subsumed variants, latencies and
+// areas.
+package mdes
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cfu"
+	"repro/internal/graph"
+)
+
+// CFUSpec describes one selected CFU.
+type CFUSpec struct {
+	// Name is the mnemonic, e.g. "cfu3<shl-and-add>".
+	Name string `json:"name"`
+	// Priority is the replacement order (0 = replace first); it equals the
+	// selection order so the compiler and the selector agree on who gets
+	// contested operations.
+	Priority int `json:"priority"`
+	// Area in adder units; Latency in whole pipelined cycles.
+	Area    float64 `json:"area"`
+	Latency int     `json:"latency"`
+	// Shape is the exact pattern the hardware implements.
+	Shape *graph.Shape `json:"shape"`
+	// Variants are subsumed patterns executable on the same hardware by
+	// driving identity inputs.
+	Variants []*graph.Shape `json:"variants,omitempty"`
+	// EstimatedValue is the hardware compiler's weighted-savings estimate,
+	// kept for reporting.
+	EstimatedValue float64 `json:"estimated_value"`
+}
+
+// MDES is a machine description: the baseline machine extended with CFUs.
+type MDES struct {
+	// Source names the program whose profile drove CFU generation.
+	Source string `json:"source"`
+	// Budget is the area budget the selection spent, in adders.
+	Budget float64 `json:"budget"`
+	// TotalArea is the area actually consumed (after sharing discounts).
+	TotalArea float64   `json:"total_area"`
+	CFUs      []CFUSpec `json:"cfus"`
+}
+
+// FromSelection converts a selection into an MDES.
+func FromSelection(source string, budget float64, sel *cfu.Selection) *MDES {
+	m := &MDES{Source: source, Budget: budget, TotalArea: sel.TotalArea}
+	for i, c := range sel.CFUs {
+		m.CFUs = append(m.CFUs, CFUSpec{
+			Name:           c.Name(),
+			Priority:       i,
+			Area:           c.Area,
+			Latency:        c.Latency,
+			Shape:          c.Shape,
+			Variants:       c.Variants,
+			EstimatedValue: c.Value,
+		})
+	}
+	return m
+}
+
+// WriteJSON serializes the MDES.
+func (m *MDES) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadJSON parses an MDES and validates every pattern.
+func ReadJSON(r io.Reader) (*MDES, error) {
+	var m MDES
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("mdes: %w", err)
+	}
+	for i := range m.CFUs {
+		c := &m.CFUs[i]
+		if c.Shape == nil {
+			return nil, fmt.Errorf("mdes: cfu %d (%s) has no shape", i, c.Name)
+		}
+		if err := c.Shape.Validate(); err != nil {
+			return nil, fmt.Errorf("mdes: cfu %d (%s): %w", i, c.Name, err)
+		}
+		for j, v := range c.Variants {
+			if err := v.Validate(); err != nil {
+				return nil, fmt.Errorf("mdes: cfu %d variant %d: %w", i, j, err)
+			}
+		}
+	}
+	return &m, nil
+}

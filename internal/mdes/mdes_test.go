@@ -1,0 +1,73 @@
+package mdes
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cfu"
+	"repro/internal/explore"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+)
+
+func sampleMDES(t *testing.T) *MDES {
+	t.Helper()
+	b := ir.NewBlock("k", 100)
+	x, y := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+	v := b.Add(b.Xor(b.And(x, b.Imm(0xFF)), y), x)
+	b.Def(ir.R(3), b.Shl(v, b.Imm(2)))
+	p := ir.NewProgram("k")
+	p.Blocks = append(p.Blocks, b)
+	res := explore.Explore(p, explore.DefaultConfig(hwlib.Default()))
+	cfus := cfu.Combine(res, hwlib.Default(), cfu.CombineOptions{})
+	sel := cfu.Select(cfus, cfu.SelectOptions{Budget: 5})
+	if len(sel.CFUs) == 0 {
+		t.Fatal("selection empty")
+	}
+	return FromSelection("k", 5, sel)
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sampleMDES(t)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "k" || got.Budget != 5 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.CFUs) != len(m.CFUs) {
+		t.Fatalf("cfu count %d != %d", len(got.CFUs), len(m.CFUs))
+	}
+	for i := range got.CFUs {
+		a, b := got.CFUs[i], m.CFUs[i]
+		if a.Name != b.Name || a.Latency != b.Latency || a.Priority != i {
+			t.Fatalf("cfu %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Shape.Mnemonic() != b.Shape.Mnemonic() {
+			t.Fatalf("shape mismatch at %d", i)
+		}
+		if len(a.Variants) != len(b.Variants) {
+			t.Fatalf("variant count mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"cfus":[{"name":"x"}]}`)); err == nil {
+		t.Fatal("expected missing-shape error")
+	}
+	// Shape with a forward node reference must fail validation.
+	bad := `{"cfus":[{"name":"x","shape":{"Nodes":[{"Code":7,"Ins":[{"Kind":0,"Index":3},{"Kind":1,"Index":0}]}],"NumInputs":1,"Outputs":[0]}}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected shape validation error")
+	}
+}

@@ -1,0 +1,34 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// BenchmarkListSchedule measures list scheduling over every block of the
+// benchmark suite.
+func BenchmarkListSchedule(b *testing.B) {
+	m := machine.Default4Wide()
+	all := workloads.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bench := range all {
+			for _, blk := range bench.Program.Blocks {
+				List(blk, m)
+			}
+		}
+	}
+}
+
+// BenchmarkAllocateWithSpills measures allocation under pressure.
+func BenchmarkAllocateWithSpills(b *testing.B) {
+	blk := randomSchedBlock(99, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Allocate(blk, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

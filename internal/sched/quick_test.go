@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// qcfg pins the RNG so property failures are reproducible in CI.
+func qcfg(n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(7))}
+}
+
+// randomSchedBlock builds a random valid block mixing ALU, memory and a
+// terminator, for scheduling properties.
+func randomSchedBlock(seed int64, n int) *ir.Block {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(m int) int {
+		s = s*2862933555777941757 + 3037000493
+		return int((s >> 33) % uint64(m))
+	}
+	b := ir.NewBlock("q", 1)
+	vals := []ir.Operand{b.Arg(ir.R(1)), b.Arg(ir.R(2))}
+	for i := 0; i < n; i++ {
+		switch next(8) {
+		case 0:
+			vals = append(vals, b.Load(b.And(vals[next(len(vals))], b.Imm(0xFFC))))
+		case 1:
+			b.Store(b.And(vals[next(len(vals))], b.Imm(0xFFC)), vals[next(len(vals))])
+		case 2:
+			vals = append(vals, b.Mul(vals[next(len(vals))], vals[next(len(vals))]))
+		default:
+			vals = append(vals, b.Xor(vals[next(len(vals))], vals[next(len(vals))]))
+		}
+	}
+	b.Def(ir.R(3), vals[len(vals)-1])
+	if next(2) == 0 {
+		b.BranchIf(b.CmpNe(vals[len(vals)-1], b.Imm(0)))
+	}
+	return b
+}
+
+// Property: every schedule respects dependence latencies and issue widths.
+func TestQuickScheduleLegal(t *testing.T) {
+	m := machine.Default4Wide()
+	f := func(seed int64) bool {
+		b := randomSchedBlock(seed, 6+int(uint64(seed)%25))
+		s := List(b, m)
+		d := ir.Analyze(b)
+		// Latency-respecting.
+		for i := range b.Ops {
+			for _, p := range d.Preds[i] {
+				isData := false
+				for _, dp := range d.DataPreds[i] {
+					if dp == p {
+						isData = true
+					}
+				}
+				need := s.Cycle[p] + 1
+				if isData {
+					need = s.Cycle[p] + m.Latency(b.Ops[p])
+				}
+				if s.Cycle[i] < need {
+					return false
+				}
+			}
+		}
+		// Width-respecting.
+		use := map[int]*[4]int{}
+		for i, op := range b.Ops {
+			u := use[s.Cycle[i]]
+			if u == nil {
+				u = &[4]int{}
+				use[s.Cycle[i]] = u
+			}
+			for _, slot := range m.SlotsOf(op) {
+				u[slot]++
+				if u[slot] > m.IssueWidth[slot] {
+					return false
+				}
+			}
+		}
+		// Length covers every completion.
+		for i, op := range b.Ops {
+			if s.Cycle[i]+m.Latency(op) > s.Length {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: register allocation never leaves pressure above the register
+// count, and the allocated block stays valid.
+func TestQuickAllocatePressure(t *testing.T) {
+	f := func(seed int64) bool {
+		b := randomSchedBlock(seed, 6+int(uint64(seed)%25))
+		for _, regs := range []int{4, 8, 32} {
+			nb, stats, err := Allocate(b, regs)
+			if err != nil {
+				return false
+			}
+			if stats.MaxLive > regs {
+				return false
+			}
+			if ir.Validate(&ir.Program{Blocks: []*ir.Block{nb}}) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(40)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: when pressure already fits the register file, allocation is
+// the identity (same block pointer, no spill code) and scheduling is
+// unaffected.
+func TestQuickNoSpillIsIdentity(t *testing.T) {
+	m := machine.Default4Wide()
+	f := func(seed int64) bool {
+		b := randomSchedBlock(seed, 10+int(uint64(seed)%20))
+		nb, stats, err := Allocate(b, 64)
+		if err != nil {
+			return false
+		}
+		if stats.SpilledValues != 0 || nb != b {
+			return false
+		}
+		return List(nb, m).Length == List(b, m).Length
+	}
+	if err := quick.Check(f, qcfg(40)); err != nil {
+		t.Fatal(err)
+	}
+}

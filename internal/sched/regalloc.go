@@ -1,0 +1,312 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// SpillBase is the start of the reserved memory region spill code uses.
+// Workload address spaces stay below it.
+const SpillBase = ir.SpillBase
+
+// AllocStats reports what register allocation did to a block.
+type AllocStats struct {
+	// MaxLive is the peak number of simultaneously live values.
+	MaxLive int
+	// SpilledValues is how many values were sent to stack slots.
+	SpilledValues int
+	// SpillOps is how many loads/stores were inserted.
+	SpillOps int
+	// Assignment maps op index (in the returned block) to the physical
+	// integer register holding its result (-1 for no result).
+	Assignment []int
+}
+
+// valueRef identifies an allocatable value: an op result or a live-in reg.
+type valueRef struct {
+	op  *ir.Op // nil for live-in
+	idx int
+	reg ir.Reg // live-in register
+}
+
+// Allocate performs linear-scan register allocation on b with numRegs
+// physical integer registers, inserting spill code (stores after the
+// definition, reloads before uses) when pressure exceeds the register
+// file. It returns the block to schedule — b itself when no spills were
+// needed, otherwise a rewritten clone — plus statistics.
+func Allocate(b *ir.Block, numRegs int) (*ir.Block, AllocStats, error) {
+	cur := b
+	totalSpilled, totalSpillOps := 0, 0
+	for round := 0; ; round++ {
+		stats, victim := pressure(cur, numRegs)
+		if stats.MaxLive <= numRegs {
+			stats.SpilledValues = totalSpilled
+			stats.SpillOps = totalSpillOps
+			stats.Assignment = assign(cur, numRegs)
+			return cur, stats, nil
+		}
+		if victim == nil {
+			return cur, AllocStats{}, fmt.Errorf(
+				"sched: pressure %d exceeds %d registers and no spillable value remains", stats.MaxLive, numRegs)
+		}
+		if round >= 256 {
+			return cur, AllocStats{}, fmt.Errorf("sched: register allocation did not converge after %d spills", round)
+		}
+		var nops int
+		cur, nops = spill(cur, *victim, uint32(totalSpilled))
+		totalSpilled++
+		totalSpillOps += nops
+	}
+}
+
+// pressure computes peak liveness over the block's linear order and, when
+// it exceeds numRegs, picks a spill victim: the value live at the peak
+// whose next use is furthest away.
+//
+// Liveness is measured at instruction *boundaries*: a value is live across
+// boundary i (between op i-1 and op i) when it is defined strictly before
+// i and used at or after i. This convention lets an operation's result
+// reuse the register of an operand dying at that operation, matching what
+// the allocator in assign() does.
+func pressure(b *ir.Block, numRegs int) (AllocStats, *valueRef) {
+	lastUse, defAt := liveness(b)
+	n := len(b.Ops)
+
+	type interval struct {
+		v          valueRef
+		start, end int // live across boundaries i with start < i <= end
+	}
+	var ivs []interval
+	for v, lu := range lastUse {
+		start := -1 // live-ins are defined before the block
+		if v.op != nil {
+			start = defAt[v.op]
+		}
+		end := lu - 1 // last boundary the value must survive into
+		if v.op != nil && liveOut(v) {
+			end = n
+		}
+		ivs = append(ivs, interval{v, start, end})
+	}
+
+	maxLive, peakAt := 0, -1
+	for i := 0; i <= n; i++ {
+		live := 0
+		for _, iv := range ivs {
+			if iv.start < i && i <= iv.end {
+				live++
+			}
+		}
+		if live > maxLive {
+			maxLive, peakAt = live, i
+		}
+	}
+	stats := AllocStats{MaxLive: maxLive}
+	if maxLive <= numRegs || peakAt < 0 {
+		return stats, nil
+	}
+	// Victim: live across the peak boundary, spillable (an op result that
+	// is not live-out), furthest next use, and with a range long enough
+	// that a store/reload pair actually shortens it.
+	bestDist := -1
+	var victim *valueRef
+	for _, iv := range ivs {
+		if iv.start >= peakAt || peakAt > iv.end || iv.v.op == nil || liveOut(iv.v) {
+			continue
+		}
+		nu, ok := nextUseAfter(b, iv.v, peakAt-1)
+		if !ok {
+			continue
+		}
+		if nu-iv.start <= 2 {
+			continue // def and use adjacent: spilling cannot help
+		}
+		if nu-peakAt > bestDist {
+			bestDist = nu - peakAt
+			v := iv.v
+			victim = &v
+		}
+	}
+	return stats, victim
+}
+
+func liveOut(v valueRef) bool {
+	if v.op == nil {
+		return false
+	}
+	if v.op.Dest != 0 && v.idx == 0 {
+		return true
+	}
+	return len(v.op.Dests) > v.idx && v.op.Dests[v.idx] != 0
+}
+
+// liveness returns per-value last use and per-op def position.
+func liveness(b *ir.Block) (lastUse map[valueRef]int, defAt map[*ir.Op]int) {
+	lastUse = make(map[valueRef]int)
+	defAt = make(map[*ir.Op]int)
+	for i, op := range b.Ops {
+		defAt[op] = i
+		if op.NumResults() > 0 {
+			for r := 0; r < op.NumResults(); r++ {
+				v := valueRef{op: op, idx: r}
+				if _, ok := lastUse[v]; !ok {
+					lastUse[v] = i + 1 // at least until after def
+				}
+			}
+		}
+		for _, a := range op.Args {
+			var v valueRef
+			switch a.Kind {
+			case ir.FromOp:
+				v = valueRef{op: a.X, idx: a.Idx}
+			case ir.FromReg:
+				v = valueRef{reg: a.Reg}
+			default:
+				continue
+			}
+			lastUse[v] = i + 1
+		}
+	}
+	return
+}
+
+func nextUseAfter(b *ir.Block, v valueRef, pos int) (int, bool) {
+	for i := pos + 1; i < len(b.Ops); i++ {
+		for _, a := range b.Ops[i].Args {
+			if a.Kind == ir.FromOp && a.X == v.op && a.Idx == v.idx {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// spill rewrites b so value v lives in memory: a store follows its
+// definition and each use reloads it. Returns the rewritten clone and the
+// number of inserted ops.
+func spill(b *ir.Block, v valueRef, slot uint32) (*ir.Block, int) {
+	addr := SpillBase + 4*slot
+	nb := ir.NewBlock(b.Name, b.Weight)
+	nb.Succs = append([]string(nil), b.Succs...)
+	inserted := 0
+
+	// Map from old op to new op for operand rewiring.
+	remap := make(map[*ir.Op]*ir.Op, len(b.Ops))
+	// reload is the load inserted immediately before the current user.
+	var reload *ir.Op
+
+	rewire := func(a ir.Operand) ir.Operand {
+		if a.Kind != ir.FromOp {
+			return a
+		}
+		if a.X == v.op && a.Idx == v.idx {
+			return ir.Operand{Kind: ir.FromOp, X: reload}
+		}
+		return ir.Operand{Kind: ir.FromOp, X: remap[a.X], Idx: a.Idx}
+	}
+
+	for _, op := range b.Ops {
+		usesV := false
+		for _, a := range op.Args {
+			if a.Kind == ir.FromOp && a.X == v.op && a.Idx == v.idx {
+				usesV = true
+			}
+		}
+		if usesV {
+			// Reload before each use so the spilled live range really ends.
+			reload = nb.Emit(ir.LoadW, nb.Imm(addr))
+			inserted++
+		}
+		no := &ir.Op{Code: op.Code, Dest: op.Dest, Custom: op.Custom}
+		if op.Dests != nil {
+			no.Dests = append([]ir.Reg(nil), op.Dests...)
+		}
+		for _, a := range op.Args {
+			no.Args = append(no.Args, rewire(a))
+		}
+		// Emit through the block so IDs stay unique.
+		tmp := nb.Emit(ir.Nop)
+		*tmp = ir.Op{ID: tmp.ID, Code: no.Code, Args: no.Args, Dest: no.Dest, Dests: no.Dests, Custom: no.Custom}
+		remap[op] = tmp
+
+		if op == v.op {
+			// Store the freshly defined value; reloads provide later uses.
+			var val ir.Operand
+			if v.idx == 0 {
+				val = tmp.Out()
+			} else {
+				val = tmp.OutN(v.idx)
+			}
+			nb.Emit(ir.StoreW, nb.Imm(addr), val)
+			inserted++
+			// A live-out value keeps its Dest on the defining op; uses are
+			// rewired to reloads below.
+		}
+	}
+	return nb, inserted
+}
+
+// assign colors values with physical registers by linear scan. It assumes
+// pressure fits (call after spilling) and returns per-op assignments.
+func assign(b *ir.Block, numRegs int) []int {
+	lastUse, _ := liveness(b)
+	out := make([]int, len(b.Ops))
+	free := make([]int, 0, numRegs)
+	for r := numRegs - 1; r >= 0; r-- {
+		free = append(free, r)
+	}
+	type active struct {
+		end int
+		reg int
+	}
+	var act []active
+	expire := func(pos int) {
+		keep := act[:0]
+		for _, a := range act {
+			if a.end <= pos {
+				free = append(free, a.reg)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		act = keep
+	}
+	for i, op := range b.Ops {
+		// A value whose last use is op i dies here; its register may be
+		// reused by op i's result (boundary liveness convention).
+		expire(i + 1)
+		out[i] = -1
+		if op.NumResults() == 0 {
+			continue
+		}
+		v := valueRef{op: op, idx: 0}
+		end := lastUse[v]
+		if liveOut(v) {
+			end = len(b.Ops) + 1
+		}
+		if len(free) == 0 {
+			// Pressure said it fits; if not (multi-result customs), reuse
+			// the oldest register — harmless for cycle accounting.
+			out[i] = 0
+			continue
+		}
+		r := free[len(free)-1]
+		free = free[:len(free)-1]
+		out[i] = r
+		act = append(act, active{end: end, reg: r})
+	}
+	return out
+}
+
+// ScheduleWithRegAlloc allocates registers (inserting spill code as
+// needed) and then list-schedules the resulting block. This is the
+// compiler's final lowering for one block.
+func ScheduleWithRegAlloc(b *ir.Block, m *machine.Desc, numRegs int) (*Schedule, AllocStats, error) {
+	nb, stats, err := Allocate(b, numRegs)
+	if err != nil {
+		return nil, stats, err
+	}
+	return List(nb, m), stats, nil
+}

@@ -1,0 +1,131 @@
+// Package sched provides the compiler's final stages for the VLIW
+// baseline: an operation list scheduler under resource and latency
+// constraints, and a linear-scan register allocator with spill insertion.
+// Block cycle counts — the quantity every experiment reports — are schedule
+// lengths weighted by profile counts.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Schedule assigns each op of a block to an issue cycle.
+type Schedule struct {
+	Block *ir.Block
+	// Cycle[i] is the issue cycle of Block.Ops[i].
+	Cycle []int
+	// Length is the number of cycles until the last result is available
+	// (the block's cost in the cycle accounting).
+	Length int
+}
+
+// List performs latency-weighted list scheduling: ops become ready when all
+// predecessors' results are available; each cycle issues the highest ops by
+// critical-path height within the machine's per-slot issue width.
+func List(b *ir.Block, m *machine.Desc) *Schedule {
+	d := ir.Analyze(b)
+	n := len(b.Ops)
+	s := &Schedule{Block: b, Cycle: make([]int, n)}
+	if n == 0 {
+		return s
+	}
+
+	// Height with real latencies, for priority.
+	height := make([]int, n)
+	order := d.TopoOrder()
+	for k := n - 1; k >= 0; k-- {
+		i := order[k]
+		h := m.Latency(b.Ops[i])
+		for _, u := range d.Succs[i] {
+			if v := height[u] + m.Latency(b.Ops[i]); v > h {
+				h = v
+			}
+		}
+		height[i] = h
+	}
+
+	unscheduledPreds := make([]int, n)
+	earliest := make([]int, n) // earliest legal issue cycle
+	for i := 0; i < n; i++ {
+		unscheduledPreds[i] = len(d.Preds[i])
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if unscheduledPreds[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	scheduled := 0
+	cycle := 0
+	for scheduled < n {
+		// Issue from ready list in priority order.
+		sort.Slice(ready, func(a, b int) bool {
+			if height[ready[a]] != height[ready[b]] {
+				return height[ready[a]] > height[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		var slotsUsed [4]int
+		var leftover []int
+		issuedAny := false
+		for _, i := range ready {
+			op := b.Ops[i]
+			slots := m.SlotsOf(op)
+			fits := earliest[i] <= cycle
+			for _, slot := range slots {
+				if slotsUsed[slot] >= m.IssueWidth[slot] {
+					fits = false
+				}
+			}
+			if !fits {
+				leftover = append(leftover, i)
+				continue
+			}
+			s.Cycle[i] = cycle
+			for _, slot := range slots {
+				slotsUsed[slot]++
+			}
+			scheduled++
+			issuedAny = true
+			done := cycle + m.Latency(op)
+			for _, u := range d.Succs[i] {
+				if done > earliest[u] {
+					earliest[u] = done
+				}
+				unscheduledPreds[u]--
+				if unscheduledPreds[u] == 0 {
+					leftover = append(leftover, u)
+				}
+			}
+			if s.Length < done {
+				s.Length = done
+			}
+		}
+		ready = leftover
+		if !issuedAny && scheduled < n {
+			// Nothing could issue: every ready op is stalled on a result
+			// latency. Jump to the earliest cycle where one unstalls.
+			min := -1
+			for _, i := range ready {
+				if earliest[i] > cycle && (min == -1 || earliest[i] < min) {
+					min = earliest[i]
+				}
+			}
+			if min > cycle {
+				cycle = min
+			} else {
+				cycle++
+			}
+			continue
+		}
+		cycle++
+	}
+	if s.Length == 0 && n > 0 {
+		s.Length = 1
+	}
+	return s
+}

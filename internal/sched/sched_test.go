@@ -1,0 +1,288 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func mach() *machine.Desc { return machine.Default4Wide() }
+
+func TestMachineDesc(t *testing.T) {
+	m := mach()
+	if m.IssueWidth[machine.SlotInt] != 1 || m.IssueWidth[machine.SlotBranch] != 1 {
+		t.Fatal("issue widths wrong")
+	}
+	if m.SlotOf(ir.Add) != machine.SlotInt || m.SlotOf(ir.LoadW) != machine.SlotMem ||
+		m.SlotOf(ir.Br) != machine.SlotBranch || m.SlotOf(ir.FAdd) != machine.SlotFP ||
+		m.SlotOf(ir.Custom) != machine.SlotInt {
+		t.Fatal("slot mapping wrong")
+	}
+	if m.OpcodeLatency(ir.Mul) <= m.OpcodeLatency(ir.Add) {
+		t.Fatal("mul must be slower than add")
+	}
+	cust := &ir.Op{Code: ir.Custom, Custom: &ir.CustomInst{Latency: 2, NumOut: 1}}
+	if m.Latency(cust) != 2 {
+		t.Fatal("custom latency not honored")
+	}
+	if m.String() == "" || machine.SlotMem.String() != "mem" {
+		t.Fatal("stringers broken")
+	}
+}
+
+func TestListScheduleSerialChain(t *testing.T) {
+	// Five dependent adds on a 1-int-slot machine: 5 cycles.
+	b := ir.NewBlock("chain", 1)
+	v := b.Arg(ir.R(1))
+	for i := 0; i < 5; i++ {
+		v = b.Add(v, b.Imm(1))
+	}
+	b.Def(ir.R(2), v)
+	s := List(b, mach())
+	if s.Length != 5 {
+		t.Fatalf("length = %d, want 5", s.Length)
+	}
+}
+
+func TestListScheduleIntSlotContention(t *testing.T) {
+	// Four independent adds still serialize on the single int slot.
+	b := ir.NewBlock("par", 1)
+	x := b.Arg(ir.R(1))
+	for i := 0; i < 4; i++ {
+		b.Def(ir.R(2+i), b.Add(x, b.Imm(uint32(i))))
+	}
+	s := List(b, mach())
+	if s.Length != 4 {
+		t.Fatalf("length = %d, want 4 (one int op per cycle)", s.Length)
+	}
+}
+
+func TestListScheduleMixedSlots(t *testing.T) {
+	// An add, a load and a branch can share a cycle on the 4-wide machine.
+	b := ir.NewBlock("mix", 1)
+	x := b.Arg(ir.R(1))
+	b.Def(ir.R(2), b.Add(x, b.Imm(1)))
+	b.Def(ir.R(3), b.Load(x))
+	b.Branch()
+	s := List(b, mach())
+	// add@0, load@0 (2-cycle), branch is ordered after all: cycle >= 1.
+	if s.Cycle[0] != 0 || s.Cycle[1] != 0 {
+		t.Fatalf("add/load cycles = %d/%d, want 0/0", s.Cycle[0], s.Cycle[1])
+	}
+	if s.Cycle[2] <= 0 {
+		t.Fatal("branch must come after the other ops")
+	}
+}
+
+func TestListScheduleLatencyRespected(t *testing.T) {
+	b := ir.NewBlock("lat", 1)
+	x := b.Arg(ir.R(1))
+	ld := b.Load(x)            // latency 2
+	sum := b.Add(ld, b.Imm(1)) // must start at cycle >= 2
+	b.Def(ir.R(2), sum)
+	s := List(b, mach())
+	if s.Cycle[1] < s.Cycle[0]+2 {
+		t.Fatalf("add issued at %d, load at %d: load latency violated", s.Cycle[1], s.Cycle[0])
+	}
+}
+
+func TestListScheduleCustomLatency(t *testing.T) {
+	b := ir.NewBlock("c", 1)
+	ci := &ir.CustomInst{Name: "cfu0", Latency: 3, NumOut: 1}
+	op := b.EmitCustom(ci, b.Arg(ir.R(1)))
+	res := op.OutN(0)
+	b.Def(ir.R(2), b.Add(res, b.Imm(1)))
+	s := List(b, mach())
+	if s.Cycle[1] < 3 {
+		t.Fatalf("consumer of 3-cycle CFU issued at %d", s.Cycle[1])
+	}
+	// A custom op and an int op contend for the single int slot.
+	b2 := ir.NewBlock("c2", 1)
+	b2.EmitCustom(ci, b2.Arg(ir.R(1)))
+	b2.Def(ir.R(3), b2.Add(b2.Arg(ir.R(2)), b2.Imm(1)))
+	s2 := List(b2, mach())
+	if s2.Cycle[0] == s2.Cycle[1] {
+		t.Fatal("custom op and int op must not share the int slot")
+	}
+}
+
+func TestScheduleRespectsAllDeps(t *testing.T) {
+	b := ir.NewBlock("dep", 1)
+	x := b.Arg(ir.R(1))
+	v := b.Load(x)
+	b.Store(x, b.Add(v, b.Imm(1)))
+	w := b.Load(x) // must follow the store
+	b.Def(ir.R(2), w)
+	s := List(b, mach())
+	d := ir.Analyze(b)
+	for i := range b.Ops {
+		for _, p := range d.Preds[i] {
+			if s.Cycle[i] <= s.Cycle[p] {
+				t.Fatalf("op %d at cycle %d not after pred %d at %d",
+					i, s.Cycle[i], p, s.Cycle[p])
+			}
+		}
+	}
+}
+
+func TestAllocateNoSpills(t *testing.T) {
+	b := ir.NewBlock("ns", 1)
+	v := b.Arg(ir.R(1))
+	for i := 0; i < 6; i++ {
+		v = b.Add(v, b.Imm(1))
+	}
+	b.Def(ir.R(2), v)
+	nb, stats, err := Allocate(b, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb != b {
+		t.Fatal("no-spill case must return the original block")
+	}
+	if stats.SpilledValues != 0 || stats.MaxLive > 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Assignment must give every producing op a register.
+	for i, op := range b.Ops {
+		if op.NumResults() > 0 && stats.Assignment[i] < 0 {
+			t.Fatalf("op %d unassigned", i)
+		}
+	}
+}
+
+func TestAllocateSpills(t *testing.T) {
+	// 8 long-lived independent values with only 4 registers forces spills.
+	b := ir.NewBlock("sp", 1)
+	x := b.Arg(ir.R(1))
+	var vals []ir.Operand
+	for i := 0; i < 8; i++ {
+		vals = append(vals, b.Add(x, b.Imm(uint32(i))))
+	}
+	acc := vals[0]
+	for i := 1; i < 8; i++ {
+		acc = b.Xor(acc, vals[i])
+	}
+	b.Def(ir.R(2), acc)
+	nb, stats, err := Allocate(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpilledValues == 0 {
+		t.Fatal("expected spills with 4 registers and 8 live values")
+	}
+	if stats.MaxLive > 4 {
+		t.Fatalf("post-spill pressure %d still exceeds 4", stats.MaxLive)
+	}
+	if err := ir.Validate(&ir.Program{Blocks: []*ir.Block{nb}}); err != nil {
+		t.Fatalf("spilled block invalid: %v", err)
+	}
+	// Spill code uses the reserved region.
+	foundStore := false
+	for _, op := range nb.Ops {
+		if op.Code == ir.StoreW && op.Args[0].Kind == ir.Imm && op.Args[0].Val >= SpillBase {
+			foundStore = true
+		}
+	}
+	if !foundStore {
+		t.Fatal("no spill store in reserved region")
+	}
+}
+
+func TestSpillPreservesSemantics(t *testing.T) {
+	// The spilled block must compute the same xor-fold as the original.
+	// We evaluate both by hand through a tiny interpreter over ops.
+	b := ir.NewBlock("sem", 1)
+	x := b.Arg(ir.R(1))
+	var vals []ir.Operand
+	for i := 0; i < 8; i++ {
+		vals = append(vals, b.Add(x, b.Imm(uint32(i*7+1))))
+	}
+	acc := vals[0]
+	for i := 1; i < 8; i++ {
+		acc = b.Xor(acc, vals[i])
+	}
+	b.Def(ir.R(2), acc)
+	nb, _, err := Allocate(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[ir.Reg]uint32{ir.R(1): 0x1234}
+	if got, want := evalBlock(nb, in)[ir.R(2)], evalBlock(b, in)[ir.R(2)]; got != want {
+		t.Fatalf("spilled result %#x != original %#x", got, want)
+	}
+}
+
+// evalBlock interprets a straight-line block (with memory) for testing.
+func evalBlock(b *ir.Block, regs map[ir.Reg]uint32) map[ir.Reg]uint32 {
+	mem := map[uint32]uint32{}
+	vals := map[*ir.Op]uint32{}
+	get := func(a ir.Operand) uint32 {
+		switch a.Kind {
+		case ir.FromOp:
+			return vals[a.X]
+		case ir.FromReg:
+			return regs[a.Reg]
+		default:
+			return a.Val
+		}
+	}
+	out := map[ir.Reg]uint32{}
+	for _, op := range b.Ops {
+		switch {
+		case op.Code == ir.LoadW:
+			vals[op] = mem[get(op.Args[0])]
+		case op.Code == ir.StoreW:
+			mem[get(op.Args[0])] = get(op.Args[1])
+		case op.Code.IsBranch():
+		default:
+			args := make([]uint32, len(op.Args))
+			for i, a := range op.Args {
+				args[i] = get(a)
+			}
+			vals[op] = ir.EvalScalar(op.Code, args)
+		}
+		if op.Dest != 0 {
+			out[op.Dest] = vals[op]
+		}
+	}
+	return out
+}
+
+func TestScheduleWithRegAlloc(t *testing.T) {
+	b := ir.NewBlock("swa", 1)
+	x := b.Arg(ir.R(1))
+	var vals []ir.Operand
+	for i := 0; i < 8; i++ {
+		vals = append(vals, b.Add(x, b.Imm(uint32(i))))
+	}
+	acc := vals[0]
+	for i := 1; i < 8; i++ {
+		acc = b.Or(acc, vals[i])
+	}
+	b.Def(ir.R(2), acc)
+
+	sNo, _, err := ScheduleWithRegAlloc(b, mach(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSp, stats, err := ScheduleWithRegAlloc(b, mach(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpilledValues == 0 {
+		t.Fatal("expected spills")
+	}
+	if sSp.Length <= sNo.Length {
+		t.Fatalf("spilled schedule (%d) should be longer than unspilled (%d)",
+			sSp.Length, sNo.Length)
+	}
+}
+
+func TestEmptyBlockSchedule(t *testing.T) {
+	b := ir.NewBlock("empty", 1)
+	s := List(b, mach())
+	if s.Length != 0 {
+		t.Fatalf("empty block length = %d", s.Length)
+	}
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sched"
+)
+
+func TestRunBlockScalarOps(t *testing.T) {
+	b := ir.NewBlock("s", 1)
+	x := b.Arg(ir.R(1))
+	b.Def(ir.R(2), b.Add(x, b.Imm(5)))
+	b.Def(ir.R(3), b.Rotl(x, b.Imm(8)))
+	b.Def(ir.R(4), b.Select(b.CmpLtS(x, b.Imm(0)), b.Imm(1), b.Imm(2)))
+	st := NewState(7)
+	st.Regs[ir.R(1)] = 0x80000001
+	if err := RunBlock(b, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[ir.R(2)] != 0x80000006 {
+		t.Fatalf("add = %#x", st.Regs[ir.R(2)])
+	}
+	if st.Regs[ir.R(3)] != 0x00000180 {
+		t.Fatalf("rotl = %#x", st.Regs[ir.R(3)])
+	}
+	if st.Regs[ir.R(4)] != 1 {
+		t.Fatalf("select = %d (value is negative)", st.Regs[ir.R(4)])
+	}
+}
+
+func TestRunBlockMemory(t *testing.T) {
+	b := ir.NewBlock("m", 1)
+	addr := b.Arg(ir.R(1))
+	b.Store(addr, b.Imm(0xAABBCCDD))
+	v := b.Load(addr)
+	b.Def(ir.R(2), v)
+	lo := b.LoadB(addr)
+	b.Def(ir.R(3), lo)
+	h := b.LoadH(addr)
+	b.Def(ir.R(4), h)
+	st := NewState(1)
+	st.Regs[ir.R(1)] = 0x1000
+	if err := RunBlock(b, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[ir.R(2)] != 0xAABBCCDD {
+		t.Fatalf("load = %#x", st.Regs[ir.R(2)])
+	}
+	if st.Regs[ir.R(3)] != 0xDD { // little endian low byte
+		t.Fatalf("loadb = %#x", st.Regs[ir.R(3)])
+	}
+	if st.Regs[ir.R(4)] != 0xCCDD {
+		t.Fatalf("loadh = %#x", st.Regs[ir.R(4)])
+	}
+}
+
+func TestUnwrittenMemoryDeterministic(t *testing.T) {
+	a, b := NewState(42), NewState(42)
+	if a.LoadWord(0x500) != b.LoadWord(0x500) {
+		t.Fatal("same seed must give same memory")
+	}
+	c := NewState(43)
+	same := 0
+	for addr := uint32(0); addr < 64; addr += 4 {
+		if a.LoadWord(addr) == c.LoadWord(addr) {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Fatalf("different seeds look identical (%d/16 words equal)", same)
+	}
+}
+
+func TestPreloadNotObservable(t *testing.T) {
+	s := NewState(1)
+	s.PreloadWord(0x100, 123)
+	if len(s.Stores) != 0 {
+		t.Fatal("preload must not count as a store")
+	}
+	if s.LoadWord(0x100) != 123 {
+		t.Fatal("preload not visible to loads")
+	}
+}
+
+func TestRunBlockCustomOp(t *testing.T) {
+	b := ir.NewBlock("c", 1)
+	ci := &ir.CustomInst{
+		Name: "mac", Latency: 1, NumOut: 2,
+		Eval: func(a []uint32) []uint32 { return []uint32{a[0]*a[1] + a[2], a[0] + a[1]} },
+	}
+	op := b.EmitCustom(ci, b.Arg(ir.R(1)), b.Arg(ir.R(2)), b.Arg(ir.R(3)))
+	op.Dests[0] = ir.R(4)
+	op.Dests[1] = ir.R(5)
+	b.Def(ir.R(6), b.Add(op.OutN(1), b.Imm(1)))
+	st := NewState(1)
+	st.Regs[ir.R(1)] = 3
+	st.Regs[ir.R(2)] = 4
+	st.Regs[ir.R(3)] = 10
+	if err := RunBlock(b, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[ir.R(4)] != 22 || st.Regs[ir.R(5)] != 7 || st.Regs[ir.R(6)] != 8 {
+		t.Fatalf("custom results: %v %v %v", st.Regs[ir.R(4)], st.Regs[ir.R(5)], st.Regs[ir.R(6)])
+	}
+}
+
+func TestRunBlockCustomWithoutEval(t *testing.T) {
+	b := ir.NewBlock("bad", 1)
+	b.EmitCustom(&ir.CustomInst{Name: "x", NumOut: 1}, b.Arg(ir.R(1)))
+	if err := RunBlock(b, NewState(1)); err == nil || !strings.Contains(err.Error(), "semantics") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEquivalentIdenticalBlocks(t *testing.T) {
+	mk := func() *ir.Block {
+		b := ir.NewBlock("e", 1)
+		x, y := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+		b.Def(ir.R(3), b.Xor(b.Add(x, y), b.Shl(x, b.Imm(3))))
+		b.Store(y, x)
+		b.BranchIf(b.CmpEq(x, y))
+		return b
+	}
+	if err := Equivalent(mk(), mk(), 20, 99); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivalentCatchesRegDivergence(t *testing.T) {
+	a := ir.NewBlock("a", 1)
+	a.Def(ir.R(2), a.Add(a.Arg(ir.R(1)), a.Imm(1)))
+	b := ir.NewBlock("b", 1)
+	b.Def(ir.R(2), b.Add(b.Arg(ir.R(1)), b.Imm(2)))
+	if err := Equivalent(a, b, 5, 1); err == nil {
+		t.Fatal("divergent registers not caught")
+	}
+}
+
+func TestEquivalentCatchesStoreDivergence(t *testing.T) {
+	a := ir.NewBlock("a", 1)
+	a.Store(a.Arg(ir.R(1)), a.Imm(1))
+	b := ir.NewBlock("b", 1)
+	b.Store(b.Arg(ir.R(1)), b.Imm(2))
+	if err := Equivalent(a, b, 5, 1); err == nil {
+		t.Fatal("divergent stores not caught")
+	}
+}
+
+func TestEquivalentCatchesBranchDivergence(t *testing.T) {
+	a := ir.NewBlock("a", 1)
+	a.BranchIf(a.CmpEq(a.Arg(ir.R(1)), a.Imm(0)))
+	b := ir.NewBlock("b", 1)
+	b.BranchIf(b.CmpNe(b.Arg(ir.R(1)), b.Imm(0)))
+	if err := Equivalent(a, b, 10, 1); err == nil {
+		t.Fatal("divergent branch conditions not caught")
+	}
+}
+
+func TestEquivalentIgnoresSpillRegion(t *testing.T) {
+	// A spilled block writes the reserved region; it must still compare
+	// equal to the original.
+	b := ir.NewBlock("sp", 1)
+	x := b.Arg(ir.R(1))
+	var vals []ir.Operand
+	for i := 0; i < 8; i++ {
+		vals = append(vals, b.Add(x, b.Imm(uint32(i*3+1))))
+	}
+	acc := vals[0]
+	for i := 1; i < 8; i++ {
+		acc = b.Xor(acc, vals[i])
+	}
+	b.Def(ir.R(2), acc)
+	spilled, stats, err := sched.Allocate(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpilledValues == 0 {
+		t.Fatal("expected spills")
+	}
+	if err := Equivalent(b, spilled, 10, 7); err != nil {
+		t.Fatalf("spilled block not equivalent: %v", err)
+	}
+}
+
+func TestRetSemantics(t *testing.T) {
+	b := ir.NewBlock("r", 1)
+	b.Emit(ir.Ret, b.Arg(ir.R(1)))
+	st := NewState(1)
+	st.Regs[ir.R(1)] = 77
+	if err := RunBlock(b, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Returned != 77 {
+		t.Fatalf("ret = %d", st.Returned)
+	}
+}

@@ -1,0 +1,259 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Memory layout for the audio kernels.
+const (
+	adpcmIndexTab uint32 = 0x00070000 // 16-entry index adjustment table
+	adpcmStepTab  uint32 = 0x00070100 // 89-entry step size table
+	gsmLARTab     uint32 = 0x00071000 // reflection coefficient table
+)
+
+// clamp16 emits a saturation of v to the 16-bit signed range, the
+// omnipresent idiom of speech codecs: two compare+select pairs.
+func clamp16(b *ir.Block, v ir.Operand) ir.Operand {
+	lo, hi := b.ImmS(-32768), b.ImmS(32767)
+	v = b.Select(b.CmpLtS(v, lo), lo, v)
+	return b.Select(b.CmpLtS(hi, v), hi, v)
+}
+
+// clampRange emits clamping of v into [lo, hi].
+func clampRange(b *ir.Block, v ir.Operand, lo, hi int32) ir.Operand {
+	l, h := b.ImmS(lo), b.ImmS(hi)
+	v = b.Select(b.CmpLtS(v, l), l, v)
+	return b.Select(b.CmpLtS(h, v), h, v)
+}
+
+// gsmMultR emits GSM 06.10's mult_r: (a*b + 16384) >> 15, saturated.
+func gsmMultR(b *ir.Block, x, y ir.Operand) ir.Operand {
+	prod := b.Mul(x, y)
+	rounded := b.Sar(b.Add(prod, b.Imm(16384)), b.Imm(15))
+	return clamp16(b, rounded)
+}
+
+// gsmAdd emits GSM's saturating 16-bit add.
+func gsmAdd(b *ir.Block, x, y ir.Operand) ir.Operand {
+	return clamp16(b, b.Add(x, y))
+}
+
+// GSMDecode builds the gsmdecode benchmark: the short-term synthesis
+// filter (the decoder's dominant loop) plus LAR coefficient decoding.
+func GSMDecode() *ir.Program {
+	p := ir.NewProgram("gsmdecode")
+
+	// Synthesis filter, two lattice sections unrolled:
+	//   sri = sub(sri, mult_r(rrp, v[i])); v[i+1] = add(v[i], mult_r(rrp, sri))
+	b := p.AddBlock("synth2", 160000)
+	sri := b.Arg(ir.R(1))
+	v0 := b.Arg(ir.R(2))
+	v1 := b.Arg(ir.R(3))
+	rrp0 := b.Arg(ir.R(4))
+	rrp1 := b.Arg(ir.R(5))
+	sri = gsmAdd(b, sri, b.Rsb(gsmMultR(b, rrp0, v0), b.Imm(0))) // sri - mult_r
+	nv1 := gsmAdd(b, v0, gsmMultR(b, rrp0, sri))
+	sri = gsmAdd(b, sri, b.Rsb(gsmMultR(b, rrp1, v1), b.Imm(0)))
+	nv2 := gsmAdd(b, v1, gsmMultR(b, rrp1, sri))
+	b.Def(ir.R(1), sri)
+	b.Def(ir.R(2), nv1)
+	b.Def(ir.R(3), nv2)
+
+	// LAR decoding: table lookup, shift and saturated scale.
+	l := p.AddBlock("lardecode", 30000)
+	larc := l.Arg(ir.R(1))
+	idx := l.And(larc, l.Imm(0x3F))
+	mic := l.Load(l.Add(l.Imm(gsmLARTab), l.Shl(idx, l.Imm(2))))
+	temp := l.Shl(l.Sub(larc, mic), l.Imm(10))
+	l.Def(ir.R(2), clamp16(l, l.Sar(l.Add(temp, l.Imm(512)), l.Imm(2))))
+
+	// Long-term synthesis: drp' = brp*drp[Nc] + erp (gain scaling with the
+	// quantized LTP gain), two taps unrolled.
+	lt := p.AddBlock("ltpsynth", 70000)
+	brp := lt.Arg(ir.R(1))
+	erp0 := lt.Arg(ir.R(2))
+	erp1 := lt.Arg(ir.R(3))
+	drpN0 := lt.Arg(ir.R(4))
+	drpN1 := lt.Arg(ir.R(5))
+	d0 := gsmAdd(lt, erp0, gsmMultR(lt, brp, drpN0))
+	d1 := gsmAdd(lt, erp1, gsmMultR(lt, brp, drpN1))
+	lt.Def(ir.R(2), d0)
+	lt.Def(ir.R(3), d1)
+
+	// De-emphasis / upscaling of output samples.
+	u := p.AddBlock("postprocess", 80000)
+	s := u.Arg(ir.R(1))
+	msr := u.Arg(ir.R(2))
+	tmp := gsmAdd(u, s, gsmMultR(u, msr, u.Imm(28180)))
+	out := clamp16(u, u.Shl(u.Sar(tmp, u.Imm(2)), u.Imm(3)))
+	u.Def(ir.R(2), tmp)
+	u.Def(ir.R(3), out)
+
+	return p
+}
+
+// GSMEncode builds the gsmencode benchmark: the long-term-prediction
+// cross-correlation search (the encoder's dominant loop: multiply,
+// absolute value, running maximum) and the analysis filter section.
+func GSMEncode() *ir.Program {
+	p := ir.NewProgram("gsmencode")
+
+	// LTP search, two lags unrolled: L_result = sum of wt[i]*dp[i]; track
+	// the maximum. abs/max are compare+select chains — prime CFU material.
+	b := p.AddBlock("ltpsearch", 200000)
+	acc0 := b.Arg(ir.R(1))
+	wt := b.Arg(ir.R(2))
+	dp0 := b.Arg(ir.R(3))
+	dp1 := b.Arg(ir.R(4))
+	bestSoFar := b.Arg(ir.R(5))
+	acc := b.Add(acc0, b.Mul(wt, dp0))
+	acc = b.Add(acc, b.Mul(wt, dp1))
+	// |acc|
+	sign := b.Sar(acc, b.Imm(31))
+	absAcc := b.Sub(b.Xor(acc, sign), sign)
+	// max(best, |acc|)
+	newBest := b.Select(b.CmpLtS(bestSoFar, absAcc), absAcc, bestSoFar)
+	b.Def(ir.R(1), acc)
+	b.Def(ir.R(5), newBest)
+	b.BranchIf(b.CmpLtS(bestSoFar, absAcc))
+
+	// Short-term analysis filter section (inverse lattice).
+	a := p.AddBlock("analysis2", 150000)
+	di := a.Arg(ir.R(1))
+	u0 := a.Arg(ir.R(2))
+	rp0 := a.Arg(ir.R(3))
+	sav := di
+	di = gsmAdd(a, di, gsmMultR(a, rp0, u0))
+	nu := gsmAdd(a, u0, gsmMultR(a, rp0, sav))
+	a.Def(ir.R(1), di)
+	a.Def(ir.R(2), nu)
+
+	// RPE grid selection: sub-sampled sequence energies (mul/add chains)
+	// with a running arg-max over the four candidate grids.
+	rpe := p.AddBlock("rpegrid", 80000)
+	em0 := rpe.Arg(ir.R(1))
+	em1 := rpe.Arg(ir.R(2))
+	x0 := rpe.Sar(rpe.Arg(ir.R(3)), rpe.Imm(2))
+	x1 := rpe.Sar(rpe.Arg(ir.R(4)), rpe.Imm(2))
+	e0 := rpe.Add(em0, rpe.Mul(x0, x0))
+	e1 := rpe.Add(em1, rpe.Mul(x1, x1))
+	better := rpe.CmpLtS(e0, e1)
+	rpe.Def(ir.R(1), rpe.Select(better, e1, e0))
+	rpe.Def(ir.R(5), rpe.Select(better, rpe.Imm(1), rpe.Imm(0)))
+	rpe.BranchIf(better)
+
+	// Preprocessing: offset compensation with rounding.
+	pp := p.AddBlock("preprocess", 90000)
+	so := pp.Arg(ir.R(1))
+	z1 := pp.Arg(ir.R(2))
+	l_z2 := pp.Arg(ir.R(3))
+	s1 := pp.Sub(pp.Shl(so, pp.Imm(3)), z1)
+	l_s2 := pp.Shl(s1, pp.Imm(15))
+	msp := pp.Sar(l_z2, pp.Imm(15))
+	l_z2n := pp.Add(pp.Add(l_s2, pp.Mul(msp, pp.Imm(32735))), pp.Imm(16384))
+	pp.Def(ir.R(2), s1)
+	pp.Def(ir.R(3), l_z2n)
+	pp.Def(ir.R(4), clamp16(pp, pp.Sar(l_z2n, pp.Imm(15))))
+
+	return p
+}
+
+// adpcmVpdiff emits the IMA-ADPCM delta-to-difference reconstruction:
+//
+//	vpdiff = step>>3 (+ step if delta&4) (+ step>>1 if delta&2)
+//	                 (+ step>>2 if delta&1)
+func adpcmVpdiff(b *ir.Block, delta, step ir.Operand) ir.Operand {
+	vp := b.Sar(step, b.Imm(3))
+	vp = b.Add(vp, b.Select(b.And(delta, b.Imm(4)), step, b.Imm(0)))
+	vp = b.Add(vp, b.Select(b.And(delta, b.Imm(2)), b.Sar(step, b.Imm(1)), b.Imm(0)))
+	return b.Add(vp, b.Select(b.And(delta, b.Imm(1)), b.Sar(step, b.Imm(2)), b.Imm(0)))
+}
+
+// RawDAudio builds the ADPCM decoder (rawdaudio): one full decode step.
+// Nearly everything is a shift/select/add chain over four live values, so
+// it shows the paper's largest speedup (1.94x).
+func RawDAudio() *ir.Program {
+	p := ir.NewProgram("rawdaudio")
+
+	b := p.AddBlock("decodestep", 350000)
+	delta := b.Arg(ir.R(1))
+	valpred := b.Arg(ir.R(2))
+	index := b.Arg(ir.R(3))
+	step := b.Arg(ir.R(4))
+
+	// index += indexTable[delta], clamped to [0, 88].
+	it := b.Load(b.Add(b.Imm(adpcmIndexTab), b.Shl(b.And(delta, b.Imm(0xF)), b.Imm(2))))
+	nindex := clampRange(b, b.Add(index, it), 0, 88)
+
+	// Reconstruct the difference and apply with sign.
+	vpdiff := adpcmVpdiff(b, delta, step)
+	sign := b.And(delta, b.Imm(8))
+	nval := b.Select(sign, b.Sub(valpred, vpdiff), b.Add(valpred, vpdiff))
+	nval = clamp16(b, nval)
+
+	nstep := b.Load(b.Add(b.Imm(adpcmStepTab), b.Shl(nindex, b.Imm(2))))
+	b.Def(ir.R(2), nval)
+	b.Def(ir.R(3), nindex)
+	b.Def(ir.R(4), nstep)
+
+	// Output packing: two 4-bit codes per byte.
+	o := p.AddBlock("unpack", 175000)
+	inByte := o.Arg(ir.R(5))
+	o.Def(ir.R(1), o.And(inByte, o.Imm(0xF)))
+	o.Def(ir.R(6), o.Shr(inByte, o.Imm(4)))
+	o.BranchIf(o.CmpNe(o.Arg(ir.R(7)), o.Imm(0)))
+
+	return p
+}
+
+// RawCAudio builds the ADPCM encoder (rawcaudio): the quantization of one
+// sample difference plus predictor update.
+func RawCAudio() *ir.Program {
+	p := ir.NewProgram("rawcaudio")
+
+	b := p.AddBlock("encodestep", 350000)
+	sample := b.Arg(ir.R(1))
+	valpred := b.Arg(ir.R(2))
+	index := b.Arg(ir.R(3))
+	step := b.Arg(ir.R(4))
+
+	// diff and sign.
+	diff := b.Sub(sample, valpred)
+	neg := b.CmpLtS(diff, b.Imm(0))
+	absDiff := b.Select(neg, b.Rsb(diff, b.Imm(0)), diff)
+	sign := b.Select(neg, b.Imm(8), b.Imm(0))
+
+	// Quantize: delta bits from successive comparisons against step.
+	ge4 := b.CmpLeS(step, absDiff)
+	d4 := b.Select(ge4, b.Imm(4), b.Imm(0))
+	rem4 := b.Select(ge4, b.Sub(absDiff, step), absDiff)
+	step2 := b.Sar(step, b.Imm(1))
+	ge2 := b.CmpLeS(step2, rem4)
+	d2 := b.Select(ge2, b.Imm(2), b.Imm(0))
+	rem2 := b.Select(ge2, b.Sub(rem4, step2), rem4)
+	step4 := b.Sar(step, b.Imm(2))
+	ge1 := b.CmpLeS(step4, rem2)
+	d1 := b.Select(ge1, b.Imm(1), b.Imm(0))
+	delta := b.Or(sign, b.Or(d4, b.Or(d2, d1)))
+
+	// Predictor update mirrors the decoder.
+	vpdiff := adpcmVpdiff(b, delta, step)
+	nval := clamp16(b, b.Select(sign, b.Sub(valpred, vpdiff), b.Add(valpred, vpdiff)))
+	it := b.Load(b.Add(b.Imm(adpcmIndexTab), b.Shl(b.And(delta, b.Imm(0xF)), b.Imm(2))))
+	nindex := clampRange(b, b.Add(index, it), 0, 88)
+	nstep := b.Load(b.Add(b.Imm(adpcmStepTab), b.Shl(nindex, b.Imm(2))))
+
+	b.Def(ir.R(5), delta)
+	b.Def(ir.R(2), nval)
+	b.Def(ir.R(3), nindex)
+	b.Def(ir.R(4), nstep)
+
+	// Output packing block.
+	o := p.AddBlock("pack", 175000)
+	dlt := o.Arg(ir.R(5))
+	buf := o.Arg(ir.R(6))
+	packed := o.Or(o.And(buf, o.Imm(0xF)), o.Shl(o.And(dlt, o.Imm(0xF)), o.Imm(4)))
+	o.StoreB(o.Arg(ir.R(7)), packed)
+	o.Def(ir.R(6), packed)
+	o.BranchIf(o.CmpNe(o.And(o.Arg(ir.R(8)), o.Imm(1)), o.Imm(0)))
+
+	return p
+}

@@ -1,0 +1,236 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Memory layout constants shared by the encryption kernels. All table
+// bases are compile-time addresses, as they would be after linking.
+const (
+	// Blowfish: four 256-entry S-boxes and the 18-entry P array.
+	bfSBox uint32 = 0x00010000
+	bfP    uint32 = 0x00011000
+
+	// Rijndael: four 256-entry T tables and the round key schedule.
+	aesTe0 uint32 = 0x00020000
+	aesTe1 uint32 = 0x00020400
+	aesTe2 uint32 = 0x00020800
+	aesTe3 uint32 = 0x00020C00
+	aesRK  uint32 = 0x00021000
+
+	// SHA-1: the 80-entry expanded message schedule W.
+	shaW uint32 = 0x00030000
+)
+
+// Registers used by the encryption kernels (documented for the examples).
+const (
+	// Blowfish round block: R1 = xl, R2 = xr; outputs in the same regs.
+	BFRegXL = ir.Reg(1)
+	BFRegXR = ir.Reg(2)
+)
+
+// bfFeistelF emits Blowfish's F function on x:
+//
+//	F(x) = ((S0[x>>24] + S1[x>>16 & 0xFF]) ^ S2[x>>8 & 0xFF]) + S3[x & 0xFF]
+//
+// The byte extraction and combination network is the CFU-friendly part; the
+// four loads fragment it, as in the real application.
+func bfFeistelF(b *ir.Block, x ir.Operand) ir.Operand {
+	a := b.Shr(x, b.Imm(24))
+	bb := b.And(b.Shr(x, b.Imm(16)), b.Imm(0xFF))
+	c := b.And(b.Shr(x, b.Imm(8)), b.Imm(0xFF))
+	d := b.And(x, b.Imm(0xFF))
+	s0 := b.Load(b.Add(b.Imm(bfSBox+0x000), b.Shl(a, b.Imm(2))))
+	s1 := b.Load(b.Add(b.Imm(bfSBox+0x400), b.Shl(bb, b.Imm(2))))
+	s2 := b.Load(b.Add(b.Imm(bfSBox+0x800), b.Shl(c, b.Imm(2))))
+	s3 := b.Load(b.Add(b.Imm(bfSBox+0xC00), b.Shl(d, b.Imm(2))))
+	return b.Add(b.Xor(b.Add(s0, s1), s2), s3)
+}
+
+// Blowfish builds the blowfish benchmark. The hot block is the full
+// 16-round Feistel network: the real BF_encrypt is a straight-line macro
+// expansion of all sixteen rounds, which is precisely the "very large
+// basic block" the paper's Figure 3 exploration study runs on.
+func Blowfish() *ir.Program {
+	p := ir.NewProgram("blowfish")
+
+	b := p.AddBlock("feistel16", 50000)
+	xl := b.Arg(BFRegXL)
+	xr := b.Arg(BFRegXR)
+	for r := 0; r < 16; r++ {
+		pi := b.Load(b.Add(b.Imm(bfP), b.Imm(uint32(4*r))))
+		xl = b.Xor(xl, pi)
+		xr = b.Xor(xr, bfFeistelF(b, xl))
+		xl, xr = xr, xl
+	}
+	b.Def(BFRegXL, xl)
+	b.Def(BFRegXR, xr)
+
+	// Warm: the output whitening and final swap.
+	w := p.AddBlock("postwhiten", 25000)
+	wl := w.Arg(BFRegXL)
+	wr := w.Arg(BFRegXR)
+	p17 := w.Load(w.Imm(bfP + 16*4))
+	p18 := w.Load(w.Imm(bfP + 17*4))
+	w.Def(BFRegXL, w.Xor(wr, p18))
+	w.Def(BFRegXR, w.Xor(wl, p17))
+
+	// Cold: key schedule mixing (XOR key bytes into P entries).
+	k := p.AddBlock("keysched", 600)
+	kw := k.Arg(ir.R(3)) // packed key word
+	idx := k.Arg(ir.R(4))
+	addr := k.Add(k.Imm(bfP), k.Shl(k.And(idx, k.Imm(0x1F)), k.Imm(2)))
+	old := k.Load(addr)
+	mixed := k.Xor(old, k.Rotl(kw, k.Imm(8)))
+	k.Store(addr, mixed)
+	k.Def(ir.R(3), k.Rotl(mixed, k.Imm(1)))
+	k.BranchIf(k.CmpLtU(idx, k.Imm(17)))
+
+	return p
+}
+
+// aesColumn emits one column of an AES encryption round:
+//
+//	t = Te0[s0>>24] ^ Te1[(s1>>16)&0xFF] ^ Te2[(s2>>8)&0xFF] ^ Te3[s3&0xFF] ^ rk
+func aesColumn(b *ir.Block, s0, s1, s2, s3 ir.Operand, rkOff uint32) ir.Operand {
+	i0 := b.Shr(s0, b.Imm(24))
+	i1 := b.And(b.Shr(s1, b.Imm(16)), b.Imm(0xFF))
+	i2 := b.And(b.Shr(s2, b.Imm(8)), b.Imm(0xFF))
+	i3 := b.And(s3, b.Imm(0xFF))
+	t0 := b.Load(b.Add(b.Imm(aesTe0), b.Shl(i0, b.Imm(2))))
+	t1 := b.Load(b.Add(b.Imm(aesTe1), b.Shl(i1, b.Imm(2))))
+	t2 := b.Load(b.Add(b.Imm(aesTe2), b.Shl(i2, b.Imm(2))))
+	t3 := b.Load(b.Add(b.Imm(aesTe3), b.Shl(i3, b.Imm(2))))
+	rk := b.Load(b.Imm(aesRK + rkOff))
+	return b.Xor(b.Xor(b.Xor(b.Xor(t0, t1), t2), t3), rk)
+}
+
+// Rijndael builds the AES benchmark: a full T-table round (four columns)
+// as the hot block, plus the final round's byte substitution block.
+func Rijndael() *ir.Program {
+	p := ir.NewProgram("rijndael")
+
+	b := p.AddBlock("round", 300000)
+	s0, s1 := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+	s2, s3 := b.Arg(ir.R(3)), b.Arg(ir.R(4))
+	b.Def(ir.R(5), aesColumn(b, s0, s1, s2, s3, 0))
+	b.Def(ir.R(6), aesColumn(b, s1, s2, s3, s0, 4))
+	b.Def(ir.R(7), aesColumn(b, s2, s3, s0, s1, 8))
+	b.Def(ir.R(8), aesColumn(b, s3, s0, s1, s2, 12))
+
+	// Final round: S-box bytes recombined with shifts and ors.
+	f := p.AddBlock("finalround", 30000)
+	t0, t1 := f.Arg(ir.R(1)), f.Arg(ir.R(2))
+	sb := func(v ir.Operand, sh uint32) ir.Operand {
+		idx := f.And(f.Shr(v, f.Imm(sh)), f.Imm(0xFF))
+		// Reuse Te tables' low byte as an S-box surrogate (same DFG shape).
+		return f.And(f.Load(f.Add(f.Imm(aesTe0), f.Shl(idx, f.Imm(2)))), f.Imm(0xFF))
+	}
+	o := f.Or(
+		f.Or(f.Shl(sb(t0, 24), f.Imm(24)), f.Shl(sb(t1, 16), f.Imm(16))),
+		f.Or(f.Shl(sb(t0, 8), f.Imm(8)), sb(t1, 0)),
+	)
+	rk := f.Load(f.Imm(aesRK + 40*4))
+	f.Def(ir.R(5), f.Xor(o, rk))
+
+	// Key expansion: rotword + subword + rcon, executed once per key.
+	k := p.AddBlock("keyexpand", 2000)
+	prev := k.Arg(ir.R(1))
+	temp := k.Rotr(prev, k.Imm(8)) // RotWord on a little-endian word
+	sub := func(v ir.Operand, sh uint32) ir.Operand {
+		idx := k.And(k.Shr(v, k.Imm(sh)), k.Imm(0xFF))
+		byt := k.And(k.Load(k.Add(k.Imm(aesTe0), k.Shl(idx, k.Imm(2)))), k.Imm(0xFF))
+		return k.Shl(byt, k.Imm(sh))
+	}
+	sw := k.Or(k.Or(sub(temp, 0), sub(temp, 8)), k.Or(sub(temp, 16), sub(temp, 24)))
+	rcon := k.Arg(ir.R(2))
+	first := k.Load(k.Imm(aesRK))
+	nw := k.Xor(k.Xor(first, sw), rcon)
+	k.Store(k.Imm(aesRK+44*4), nw)
+	k.Def(ir.R(3), nw)
+
+	return p
+}
+
+// shaRound emits one SHA-1 round with the given f-function and constant,
+// returning the rotated state. State order: a, b, c, d, e.
+func shaRound(blk *ir.Block, a, b, c, d, e ir.Operand, f func(b, c, d ir.Operand) ir.Operand, k uint32, wOff uint32) (ir.Operand, ir.Operand, ir.Operand, ir.Operand, ir.Operand) {
+	w := blk.Load(blk.Imm(shaW + wOff))
+	tmp := blk.Add(
+		blk.Add(
+			blk.Add(blk.Rotl(a, blk.Imm(5)), f(b, c, d)),
+			blk.Add(e, blk.Imm(k)),
+		),
+		w,
+	)
+	return tmp, a, blk.Rotl(b, blk.Imm(30)), c, d
+}
+
+// SHA builds the SHA-1 benchmark: four unrolled rounds (one per f
+// function) as the hot block, plus the message-schedule expansion block.
+func SHA() *ir.Program {
+	p := ir.NewProgram("sha")
+
+	blk := p.AddBlock("rounds4", 250000)
+	a := blk.Arg(ir.R(1))
+	b := blk.Arg(ir.R(2))
+	c := blk.Arg(ir.R(3))
+	d := blk.Arg(ir.R(4))
+	e := blk.Arg(ir.R(5))
+	ch := func(b, c, d ir.Operand) ir.Operand {
+		return blk.Or(blk.And(b, c), blk.AndNot(d, b))
+	}
+	parity := func(b, c, d ir.Operand) ir.Operand {
+		return blk.Xor(blk.Xor(b, c), d)
+	}
+	maj := func(b, c, d ir.Operand) ir.Operand {
+		return blk.Or(blk.Or(blk.And(b, c), blk.And(b, d)), blk.And(c, d))
+	}
+	a, b, c, d, e = shaRound(blk, a, b, c, d, e, ch, 0x5A827999, 0)
+	a, b, c, d, e = shaRound(blk, a, b, c, d, e, parity, 0x6ED9EBA1, 4)
+	a, b, c, d, e = shaRound(blk, a, b, c, d, e, maj, 0x8F1BBCDC, 8)
+	a, b, c, d, e = shaRound(blk, a, b, c, d, e, parity, 0xCA62C1D6, 12)
+	blk.Def(ir.R(1), a)
+	blk.Def(ir.R(2), b)
+	blk.Def(ir.R(3), c)
+	blk.Def(ir.R(4), d)
+	blk.Def(ir.R(5), e)
+
+	// Message schedule: W[i] = ROTL1(W[i-3] ^ W[i-8] ^ W[i-14] ^ W[i-16]),
+	// two expansions unrolled.
+	w := p.AddBlock("wexpand", 60000)
+	for i := 0; i < 2; i++ {
+		off := uint32(16+i) * 4
+		w3 := w.Load(w.Imm(shaW + off - 3*4))
+		w8 := w.Load(w.Imm(shaW + off - 8*4))
+		w14 := w.Load(w.Imm(shaW + off - 14*4))
+		w16 := w.Load(w.Imm(shaW + off - 16*4))
+		wi := w.Rotl(w.Xor(w.Xor(w3, w8), w.Xor(w14, w16)), w.Imm(1))
+		w.Store(w.Imm(shaW+off), wi)
+	}
+
+	// Digest update: fold the working state back into H0..H4.
+	fin := p.AddBlock("finalize", 4000)
+	for i := 0; i < 5; i++ {
+		h := fin.Load(fin.Imm(shaW + 0x200 + uint32(4*i)))
+		nv := fin.Add(h, fin.Arg(ir.R(i+1)))
+		fin.Store(fin.Imm(shaW+0x200+uint32(4*i)), nv)
+	}
+
+	// Big-endian message load: byte swap on the way into W.
+	bs := p.AddBlock("byteswap", 16000)
+	wv := bs.Load(bs.Arg(ir.R(1)))
+	sw := bs.Or(
+		bs.Or(bs.Shl(wv, bs.Imm(24)), bs.Shl(bs.And(wv, bs.Imm(0xFF00)), bs.Imm(8))),
+		bs.Or(bs.And(bs.Shr(wv, bs.Imm(8)), bs.Imm(0xFF00)), bs.Shr(wv, bs.Imm(24))),
+	)
+	bs.Store(bs.Arg(ir.R(2)), sw)
+	bs.Def(ir.R(1), bs.Add(bs.Arg(ir.R(1)), bs.Imm(4)))
+
+	// Padding/length block: cheap bookkeeping, rarely executed.
+	pad := p.AddBlock("pad", 800)
+	lenBits := pad.Shl(pad.Arg(ir.R(1)), pad.Imm(3))
+	pad.Store(pad.Imm(shaW+56*4), pad.Shr(lenBits, pad.Imm(29)))
+	pad.Store(pad.Imm(shaW+60*4), lenBits)
+	pad.Branch()
+
+	return p
+}

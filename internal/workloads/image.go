@@ -1,0 +1,228 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Memory layout for the image kernels.
+const (
+	jpegCoef   uint32 = 0x00080000 // 8x8 coefficient block
+	jpegQuant  uint32 = 0x00080200 // quantization reciprocal table
+	jpegOut    uint32 = 0x00080400 // output samples
+	mpegRef    uint32 = 0x00090000 // reference frame
+	mpegCur    uint32 = 0x00090800 // current frame
+	mpegVLCTab uint32 = 0x00091000 // VLC decode table
+)
+
+// AAN/LLM fixed-point constants (scaled by 1<<13) used by the DCT kernels.
+const (
+	fix0541 = 4433  // FIX(0.541196100)
+	fix0765 = 6270  // FIX(0.765366865)
+	fix1847 = 15137 // FIX(1.847759065)
+	fix1175 = 9633  // FIX(1.175875602)
+)
+
+// CJpeg builds the cjpeg benchmark: the even part of the LLM forward DCT
+// over one row (hot, loads + butterflies + multiplies) and the coefficient
+// quantization block.
+func CJpeg() *ir.Program {
+	p := ir.NewProgram("cjpeg")
+
+	b := p.AddBlock("fdctrow", 120000)
+	// Load the row's eight samples.
+	var d [8]ir.Operand
+	for i := 0; i < 8; i++ {
+		d[i] = b.Load(b.Imm(jpegCoef + uint32(4*i)))
+	}
+	// Stage 1 butterflies.
+	tmp0 := b.Add(d[0], d[7])
+	tmp7 := b.Sub(d[0], d[7])
+	tmp1 := b.Add(d[1], d[6])
+	tmp6 := b.Sub(d[1], d[6])
+	tmp2 := b.Add(d[2], d[5])
+	tmp5 := b.Sub(d[2], d[5])
+	tmp3 := b.Add(d[3], d[4])
+	tmp4 := b.Sub(d[3], d[4])
+	// Even part.
+	tmp10 := b.Add(tmp0, tmp3)
+	tmp13 := b.Sub(tmp0, tmp3)
+	tmp11 := b.Add(tmp1, tmp2)
+	tmp12 := b.Sub(tmp1, tmp2)
+	b.Store(b.Imm(jpegCoef+0), b.Shl(b.Add(tmp10, tmp11), b.Imm(2)))
+	b.Store(b.Imm(jpegCoef+16), b.Shl(b.Sub(tmp10, tmp11), b.Imm(2)))
+	z1 := b.Mul(b.Add(tmp12, tmp13), b.Imm(fix0541))
+	o2 := b.Sar(b.Add(z1, b.Mul(tmp13, b.Imm(fix0765))), b.Imm(11))
+	o6 := b.Sar(b.Sub(z1, b.Mul(tmp12, b.Imm(fix1847))), b.Imm(11))
+	b.Store(b.Imm(jpegCoef+8), o2)
+	b.Store(b.Imm(jpegCoef+24), o6)
+	// Odd part (abbreviated: one rotator).
+	z2 := b.Mul(b.Add(tmp4, tmp7), b.Imm(fix1175))
+	o1 := b.Sar(b.Add(z2, b.Shl(tmp5, b.Imm(13))), b.Imm(11))
+	o7 := b.Sar(b.Sub(z2, b.Shl(tmp6, b.Imm(13))), b.Imm(11))
+	b.Store(b.Imm(jpegCoef+4), o1)
+	b.Store(b.Imm(jpegCoef+28), o7)
+
+	// Full odd part of the LLM forward DCT (four rotators sharing z5).
+	odd := p.AddBlock("fdctodd", 110000)
+	var tm [4]ir.Operand
+	for i := 0; i < 4; i++ {
+		tm[i] = odd.Load(odd.Imm(jpegCoef + 0x40 + uint32(4*i)))
+	}
+	z1o := odd.Add(tm[0], tm[3])
+	z2o := odd.Add(tm[1], tm[2])
+	z3o := odd.Add(tm[0], tm[2])
+	z4o := odd.Add(tm[1], tm[3])
+	z5 := odd.Mul(odd.Add(z3o, z4o), odd.Imm(fix1175))
+	t4 := odd.Mul(tm[0], odd.Imm(2446))   // FIX(0.298631336)
+	t5 := odd.Mul(tm[1], odd.Imm(16819))  // FIX(2.053119869)
+	t6 := odd.Mul(tm[2], odd.Imm(25172))  // FIX(3.072711026)
+	t7 := odd.Mul(tm[3], odd.Imm(12299))  // FIX(1.501321110)
+	z1m := odd.Mul(z1o, odd.ImmS(-7373))  // -FIX(0.899976223)
+	z2m := odd.Mul(z2o, odd.ImmS(-20995)) // -FIX(2.562915447)
+	z3m := odd.Add(odd.Mul(z3o, odd.ImmS(-16069)), z5)
+	z4m := odd.Add(odd.Mul(z4o, odd.ImmS(-3196)), z5)
+	odd.Store(odd.Imm(jpegCoef+0x1C), odd.Sar(odd.Add(odd.Add(t4, z1m), z3m), odd.Imm(11)))
+	odd.Store(odd.Imm(jpegCoef+0x14), odd.Sar(odd.Add(odd.Add(t5, z2m), z4m), odd.Imm(11)))
+	odd.Store(odd.Imm(jpegCoef+0x0C), odd.Sar(odd.Add(odd.Add(t6, z2m), z3m), odd.Imm(11)))
+	odd.Store(odd.Imm(jpegCoef+0x04), odd.Sar(odd.Add(odd.Add(t7, z1m), z4m), odd.Imm(11)))
+
+	// Quantization: coef = sign-aware (|v| * recip + round) >> shift.
+	q := p.AddBlock("quantize", 90000)
+	v := q.Load(q.Imm(jpegCoef))
+	recip := q.Load(q.Imm(jpegQuant))
+	neg := q.CmpLtS(v, q.Imm(0))
+	av := q.Select(neg, q.Rsb(v, q.Imm(0)), v)
+	scaled := q.Shr(q.Add(q.Mul(av, recip), q.Imm(1<<14)), q.Imm(15))
+	signed := q.Select(neg, q.Rsb(scaled, q.Imm(0)), scaled)
+	q.Store(q.Imm(jpegOut), signed)
+	q.BranchIf(q.CmpNe(signed, q.Imm(0)))
+
+	// Downsampling: average four neighbours (cheap, memory-bound).
+	s := p.AddBlock("downsample", 60000)
+	a1 := s.LoadB(s.Arg(ir.R(1)))
+	a2 := s.LoadB(s.Add(s.Arg(ir.R(1)), s.Imm(1)))
+	b1 := s.LoadB(s.Arg(ir.R(2)))
+	b2 := s.LoadB(s.Add(s.Arg(ir.R(2)), s.Imm(1)))
+	avg := s.Shr(s.Add(s.Add(a1, a2), s.Add(s.Add(b1, b2), s.Imm(2))), s.Imm(2))
+	s.StoreB(s.Arg(ir.R(3)), avg)
+
+	return p
+}
+
+// DJpeg builds the djpeg benchmark: the inverse DCT column pass with its
+// multiplies (hot) and the range-limit output block. The paper notes djpeg
+// needs very large CFUs (24 read ports in the limit study) to capture the
+// butterfly network.
+func DJpeg() *ir.Program {
+	p := ir.NewProgram("djpeg")
+
+	b := p.AddBlock("idctcol", 120000)
+	c0 := b.Load(b.Imm(jpegCoef + 0*32))
+	c2 := b.Load(b.Imm(jpegCoef + 2*32))
+	c4 := b.Load(b.Imm(jpegCoef + 4*32))
+	c6 := b.Load(b.Imm(jpegCoef + 6*32))
+	// Even part.
+	z2 := b.Mul(b.Add(c2, c6), b.Imm(fix0541))
+	tmp2 := b.Add(z2, b.Mul(c6, b.ImmS(-fix1847)))
+	tmp3 := b.Add(z2, b.Mul(c2, b.Imm(fix0765)))
+	tmp0 := b.Shl(b.Add(c0, c4), b.Imm(13))
+	tmp1 := b.Shl(b.Sub(c0, c4), b.Imm(13))
+	t10 := b.Add(tmp0, tmp3)
+	t13 := b.Sub(tmp0, tmp3)
+	t11 := b.Add(tmp1, tmp2)
+	t12 := b.Sub(tmp1, tmp2)
+	b.Store(b.Imm(jpegOut+0), b.Sar(t10, b.Imm(11)))
+	b.Store(b.Imm(jpegOut+4), b.Sar(t11, b.Imm(11)))
+	b.Store(b.Imm(jpegOut+8), b.Sar(t12, b.Imm(11)))
+	b.Store(b.Imm(jpegOut+12), b.Sar(t13, b.Imm(11)))
+
+	// Range limit: center, clamp to [0,255], two samples unrolled.
+	r := p.AddBlock("rangelimit", 100000)
+	for i := 0; i < 2; i++ {
+		sv := r.Load(r.Imm(jpegOut + uint32(4*i)))
+		centered := r.Add(r.Sar(sv, r.Imm(3)), r.Imm(128))
+		cl := clampRange(r, centered, 0, 255)
+		r.StoreB(r.Imm(jpegOut+0x100+uint32(i)), cl)
+	}
+
+	// Huffman decode fragment: bit buffer refill and table probe (branchy).
+	h := p.AddBlock("huffdecode", 80000)
+	bits := h.Arg(ir.R(1))
+	nbits := h.Arg(ir.R(2))
+	code := h.Shr(bits, h.Imm(24))
+	entry := h.Load(h.Add(h.Imm(mpegVLCTab), h.Shl(h.And(code, h.Imm(0xFF)), h.Imm(2))))
+	length := h.And(entry, h.Imm(0xF))
+	h.Def(ir.R(1), h.Shl(bits, length))
+	h.Def(ir.R(2), h.Sub(nbits, length))
+	h.Def(ir.R(3), h.Sar(entry, h.Imm(8)))
+	h.BranchIf(h.CmpLtS(h.Sub(nbits, length), h.Imm(8)))
+
+	return p
+}
+
+// MPEG2Dec builds the mpeg2dec benchmark: saturated IDCT output, motion
+// compensation averaging, and a VLC decode block. Memory operations and
+// branches dominate, so the paper sees almost no speedup.
+func MPEG2Dec() *ir.Program {
+	p := ir.NewProgram("mpeg2dec")
+
+	// IDCT output saturation: clamp to [-256, 255] per the standard.
+	b := p.AddBlock("saturate", 150000)
+	for i := 0; i < 2; i++ {
+		v := b.Load(b.Imm(jpegCoef + uint32(4*i)))
+		sat := clampRange(b, b.Sar(v, b.Imm(6)), -256, 255)
+		b.Store(b.Imm(jpegOut+uint32(4*i)), sat)
+	}
+
+	// Motion compensation: pel = (ref + pred + 1) >> 1, then add the
+	// residual with clamping; loads and stores everywhere.
+	mc := p.AddBlock("motioncomp", 140000)
+	refPtr := mc.Arg(ir.R(1))
+	curPtr := mc.Arg(ir.R(2))
+	rv := mc.LoadB(refPtr)
+	cv := mc.LoadB(curPtr)
+	avg := mc.Shr(mc.Add(mc.Add(rv, cv), mc.Imm(1)), mc.Imm(1))
+	res := mc.Load(mc.Imm(jpegOut))
+	sum := mc.Add(avg, res)
+	out := clampRange(mc, sum, 0, 255)
+	mc.StoreB(mc.Add(curPtr, mc.Imm(0x800)), out)
+	mc.Def(ir.R(1), mc.Add(refPtr, mc.Imm(1)))
+	mc.Def(ir.R(2), mc.Add(curPtr, mc.Imm(1)))
+
+	// Inverse quantization with mismatch control: coef = (2*QF + sign) *
+	// scale * W >> 5, saturated, with the standard's LSB toggle.
+	dq := p.AddBlock("dequant", 100000)
+	qf := dq.Load(dq.Imm(jpegCoef + 0x80))
+	wq := dq.Load(dq.Imm(jpegQuant + 0x40))
+	scale := dq.Arg(ir.R(1))
+	neg := dq.CmpLtS(qf, dq.Imm(0))
+	signTerm := dq.Select(neg, dq.ImmS(-1), dq.Imm(1))
+	val := dq.Mul(dq.Mul(dq.Add(dq.Shl(qf, dq.Imm(1)), signTerm), scale), wq)
+	val = dq.Sar(val, dq.Imm(5))
+	sat := clampRange(dq, val, -2048, 2047)
+	// Mismatch control: force the LSB to 1 when the sum parity is even.
+	even := dq.CmpEq(dq.And(sat, dq.Imm(1)), dq.Imm(0))
+	sat = dq.Select(even, dq.Or(sat, dq.Imm(1)), sat)
+	dq.Store(dq.Imm(jpegCoef+0x80), sat)
+
+	// VLC decode: bit extraction and table walk with branches.
+	v := p.AddBlock("vlcdecode", 130000)
+	bits := v.Arg(ir.R(3))
+	idx := v.Shr(bits, v.Imm(27))
+	e := v.Load(v.Add(v.Imm(mpegVLCTab), v.Shl(idx, v.Imm(2))))
+	run := v.And(v.Shr(e, v.Imm(8)), v.Imm(0x3F))
+	level := v.SextB(e)
+	length := v.And(v.Shr(e, v.Imm(16)), v.Imm(0x1F))
+	v.Def(ir.R(4), run)
+	v.Def(ir.R(5), level)
+	v.Def(ir.R(3), v.Shl(bits, length))
+	v.BranchIf(v.CmpEq(run, v.Imm(0x3F)))
+
+	// Block add: residual + prediction for intra blocks.
+	ba := p.AddBlock("addblock", 90000)
+	pred := ba.LoadB(ba.Arg(ir.R(6)))
+	resid := ba.Load(ba.Imm(jpegOut + 16))
+	s := clampRange(ba, ba.Add(pred, resid), 0, 255)
+	ba.StoreB(ba.Arg(ir.R(7)), s)
+	ba.BranchIf(ba.CmpNe(ba.And(ba.Arg(ir.R(6)), ba.Imm(7)), ba.Imm(0)))
+
+	return p
+}

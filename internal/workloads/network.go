@@ -1,0 +1,182 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Memory layout for the network kernels.
+const (
+	crcTable uint32 = 0x00040000 // 256-entry CRC-32 table
+	ipcRule  uint32 = 0x00050000 // packet filter rule array
+	urlBase  uint32 = 0x00060000 // candidate URL strings
+)
+
+// CRC builds the crc benchmark: the table-driven CRC-32 byte update (hot)
+// and the bitwise 8-step update (warm), as in NetBench's crc which keeps
+// both paths.
+func CRC() *ir.Program {
+	p := ir.NewProgram("crc")
+
+	// Table-driven: crc = table[(crc ^ data) & 0xFF] ^ (crc >> 8), two
+	// bytes unrolled. Loads dominate, limiting CFU opportunity.
+	b := p.AddBlock("tablestep", 200000)
+	crc := b.Arg(ir.R(1))
+	dptr := b.Arg(ir.R(2))
+	for i := 0; i < 2; i++ {
+		byt := b.LoadB(b.Add(dptr, b.Imm(uint32(i))))
+		idx := b.And(b.Xor(crc, byt), b.Imm(0xFF))
+		te := b.Load(b.Add(b.Imm(crcTable), b.Shl(idx, b.Imm(2))))
+		crc = b.Xor(te, b.Shr(crc, b.Imm(8)))
+	}
+	b.Def(ir.R(1), crc)
+	b.Def(ir.R(2), b.Add(dptr, b.Imm(2)))
+
+	// Bitwise: one input byte, 8 shift/xor/select steps. This is the
+	// CFU-friendly region of crc.
+	w := p.AddBlock("bitstep", 40000)
+	c := w.Arg(ir.R(1))
+	data := w.Arg(ir.R(3))
+	c = w.Xor(c, w.And(data, w.Imm(0xFF)))
+	for i := 0; i < 8; i++ {
+		lsb := w.And(c, w.Imm(1))
+		shifted := w.Shr(c, w.Imm(1))
+		c = w.Xor(shifted, w.Select(lsb, w.Imm(0xEDB88320), w.Imm(0)))
+	}
+	w.Def(ir.R(1), c)
+
+	// Buffer-end check.
+	e := p.AddBlock("endcheck", 200000)
+	e.BranchIf(e.CmpLtU(e.Arg(ir.R(2)), e.Arg(ir.R(4))))
+
+	// Table generation: one entry of the 256-entry table (startup cost).
+	g := p.AddBlock("tablegen", 256)
+	tv := g.Arg(ir.R(5))
+	for i := 0; i < 8; i++ {
+		lsb := g.And(tv, g.Imm(1))
+		tv = g.Xor(g.Shr(tv, g.Imm(1)), g.Select(lsb, g.Imm(0xEDB88320), g.Imm(0)))
+	}
+	g.Store(g.Add(g.Imm(crcTable), g.Shl(g.Arg(ir.R(6)), g.Imm(2))), tv)
+	g.Def(ir.R(6), g.Add(g.Arg(ir.R(6)), g.Imm(1)))
+
+	return p
+}
+
+// IPChains builds the packet-filter benchmark: masked field comparisons
+// against a rule (hot, branchy), the IP header checksum (warm), and a TTL
+// rewrite block. Branches and loads fragment its DFGs, which is why the
+// paper sees almost no speedup here.
+func IPChains() *ir.Program {
+	p := ir.NewProgram("ipchains")
+
+	// Rule match: ((src ^ rule.src) & rule.smask) | ((dst ^ rule.dst) &
+	// rule.dmask) must be zero, then ports compared.
+	b := p.AddBlock("rulematch", 150000)
+	src := b.Arg(ir.R(1))
+	dst := b.Arg(ir.R(2))
+	rsrc := b.Load(b.Imm(ipcRule + 0))
+	rsmask := b.Load(b.Imm(ipcRule + 4))
+	rdst := b.Load(b.Imm(ipcRule + 8))
+	rdmask := b.Load(b.Imm(ipcRule + 12))
+	addrMiss := b.Or(
+		b.And(b.Xor(src, rsrc), rsmask),
+		b.And(b.Xor(dst, rdst), rdmask),
+	)
+	b.Def(ir.R(4), addrMiss)
+	b.BranchIf(b.CmpNe(addrMiss, b.Imm(0)))
+
+	pb := p.AddBlock("portmatch", 120000)
+	pports := pb.Arg(ir.R(3))
+	rlo := pb.Load(pb.Imm(ipcRule + 16))
+	rhi := pb.Load(pb.Imm(ipcRule + 20))
+	dport := pb.And(pports, pb.Imm(0xFFFF))
+	inRange := pb.And(pb.CmpLeU(rlo, dport), pb.CmpLeU(dport, rhi))
+	pb.Def(ir.R(5), inRange)
+	pb.BranchIf(inRange)
+
+	// IP checksum: 16-bit one's-complement sums with carry folding.
+	cs := p.AddBlock("checksum", 80000)
+	hptr := cs.Arg(ir.R(1))
+	sum := cs.Arg(ir.R(6))
+	for i := 0; i < 2; i++ {
+		wv := cs.LoadH(cs.Add(hptr, cs.Imm(uint32(2*i))))
+		sum = cs.Add(sum, wv)
+	}
+	folded := cs.Add(cs.And(sum, cs.Imm(0xFFFF)), cs.Shr(sum, cs.Imm(16)))
+	folded = cs.Add(cs.And(folded, cs.Imm(0xFFFF)), cs.Shr(folded, cs.Imm(16)))
+	cs.Def(ir.R(6), folded)
+
+	// TTL decrement and checksum adjust (RFC 1141 style).
+	t := p.AddBlock("ttl", 60000)
+	ttlw := t.Arg(ir.R(7))
+	check := t.Arg(ir.R(6))
+	nt := t.Sub(ttlw, t.Imm(0x0100))
+	adj := t.Add(check, t.Imm(0x0100))
+	adj = t.Add(t.And(adj, t.Imm(0xFFFF)), t.Shr(adj, t.Imm(16)))
+	t.Def(ir.R(7), nt)
+	t.Def(ir.R(6), adj)
+	t.BranchIf(t.CmpEq(t.And(nt, t.Imm(0xFF00)), t.Imm(0)))
+
+	// NAT rewrite: replace an address field and incrementally adjust the
+	// checksum (RFC 1624: sum' = ~(~sum + ~old + new)).
+	nat := p.AddBlock("natrewrite", 40000)
+	oldA := nat.Load(nat.Arg(ir.R(1)))
+	newA := nat.Load(nat.Imm(ipcRule + 24))
+	sum0 := nat.Arg(ir.R(6))
+	s := nat.Add(nat.Add(nat.Xor(sum0, nat.Imm(0xFFFF)), nat.Xor(oldA, nat.Imm(0xFFFF))), newA)
+	s = nat.Add(nat.And(s, nat.Imm(0xFFFF)), nat.Shr(s, nat.Imm(16)))
+	s = nat.Add(nat.And(s, nat.Imm(0xFFFF)), nat.Shr(s, nat.Imm(16)))
+	nat.Store(nat.Arg(ir.R(1)), newA)
+	nat.Def(ir.R(6), nat.Xor(s, nat.Imm(0xFFFF)))
+
+	return p
+}
+
+// URL builds the url-switching benchmark: a multiplicative string hash
+// (hot) and a prefix comparison loop (warm), as in NetBench's url.
+func URL() *ir.Program {
+	p := ir.NewProgram("url")
+
+	// h = h*31 + c, strength-reduced to (h<<5) - h + c, two characters
+	// unrolled; the shift/sub/add chain is moderately CFU-friendly.
+	b := p.AddBlock("hash2", 180000)
+	h := b.Arg(ir.R(1))
+	sptr := b.Arg(ir.R(2))
+	for i := 0; i < 2; i++ {
+		ch := b.LoadB(b.Add(sptr, b.Imm(uint32(i))))
+		h = b.Add(b.Sub(b.Shl(h, b.Imm(5)), h), ch)
+	}
+	b.Def(ir.R(1), h)
+	b.Def(ir.R(2), b.Add(sptr, b.Imm(2)))
+	b.BranchIf(b.CmpNe(b.And(h, b.Imm(0xFF)), b.Imm(0)))
+
+	// Bucket probe: mask hash, load candidate pointer, compare 4 bytes.
+	c := p.AddBlock("probe", 90000)
+	hh := c.Arg(ir.R(1))
+	slot := c.And(hh, c.Imm(0x3FF))
+	cand := c.Load(c.Add(c.Imm(urlBase), c.Shl(slot, c.Imm(2))))
+	w1 := c.Load(cand)
+	w2 := c.Load(c.Arg(ir.R(3)))
+	diff := c.Xor(w1, w2)
+	c.Def(ir.R(4), diff)
+	c.BranchIf(c.CmpNe(diff, c.Imm(0)))
+
+	// Prefix-length tally: branchy byte compare.
+	t := p.AddBlock("tail", 70000)
+	b1 := t.LoadB(t.Arg(ir.R(3)))
+	b2 := t.LoadB(t.Arg(ir.R(5)))
+	eq := t.CmpEq(b1, b2)
+	t.Def(ir.R(6), t.Add(t.Arg(ir.R(6)), eq))
+	t.BranchIf(eq)
+
+	// Tokenizer: classify a URL byte (alpha / digit / separator) with
+	// range compares and build a class bitmask.
+	tok := p.AddBlock("tokenize", 50000)
+	ch := tok.LoadB(tok.Arg(ir.R(3)))
+	lower := tok.Or(ch, tok.Imm(0x20))
+	isAlpha := tok.And(tok.CmpLeU(tok.Imm('a'), lower), tok.CmpLeU(lower, tok.Imm('z')))
+	isDigit := tok.And(tok.CmpLeU(tok.Imm('0'), ch), tok.CmpLeU(ch, tok.Imm('9')))
+	isSep := tok.Or(tok.CmpEq(ch, tok.Imm('/')), tok.Or(tok.CmpEq(ch, tok.Imm('?')), tok.CmpEq(ch, tok.Imm('&'))))
+	class := tok.Or(isAlpha, tok.Or(tok.Shl(isDigit, tok.Imm(1)), tok.Shl(isSep, tok.Imm(2))))
+	tok.Def(ir.R(7), class)
+	tok.BranchIf(isSep)
+
+	return p
+}

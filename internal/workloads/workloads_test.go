@@ -1,0 +1,442 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("benchmarks = %d, want 13", len(all))
+	}
+	counts := map[string]int{}
+	for _, b := range all {
+		counts[b.Domain]++
+		if b.Program == nil || len(b.Program.Blocks) == 0 {
+			t.Fatalf("%s has no program", b.Name)
+		}
+		if b.Program.Name != b.Name {
+			t.Fatalf("program name %q != benchmark name %q", b.Program.Name, b.Name)
+		}
+	}
+	// Paper: 3 encryption, 3 network, 4 audio, 3 image.
+	want := map[string]int{
+		DomainEncryption: 3, DomainNetwork: 3, DomainAudio: 4, DomainImage: 3,
+	}
+	for d, n := range want {
+		if counts[d] != n {
+			t.Errorf("domain %s: %d benchmarks, want %d", d, counts[d], n)
+		}
+	}
+	if len(Names()) != 13 || len(DomainNames()) != 4 {
+		t.Fatal("names/domains lists wrong")
+	}
+	if _, err := ByName("blowfish"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestAllProgramsValid(t *testing.T) {
+	for _, b := range All() {
+		if err := ir.Validate(b.Program); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestAllProgramsExecutable(t *testing.T) {
+	// Every block must run in the simulator without error (all registers
+	// default to zero, memory is pseudo-random).
+	for _, b := range All() {
+		for _, blk := range b.Program.Blocks {
+			st := sim.NewState(11)
+			st.Regs[ir.R(1)] = 0x12345678
+			st.Regs[ir.R(2)] = 0x9ABCDEF0
+			if err := sim.RunBlock(blk, st); err != nil {
+				t.Errorf("%s/%s: %v", b.Name, blk.Name, err)
+			}
+		}
+	}
+}
+
+func TestDomainStructure(t *testing.T) {
+	// The paper's observation: encryption kernels are ALU-dominated;
+	// network and image kernels carry a high memory+branch fraction. The
+	// claim is about executed operations, so weight blocks by profile.
+	frac := func(p *ir.Program) float64 {
+		var mb, tot float64
+		for _, b := range p.Blocks {
+			for _, op := range b.Ops {
+				tot += b.Weight
+				if op.Code.IsMemory() || op.Code.IsBranch() {
+					mb += b.Weight
+				}
+			}
+		}
+		return mb / tot
+	}
+	doms := Domains()
+	avg := func(d string) float64 {
+		s := 0.0
+		for _, b := range doms[d] {
+			s += frac(b.Program)
+		}
+		return s / float64(len(doms[d]))
+	}
+	enc, net, img := avg(DomainEncryption), avg(DomainNetwork), avg(DomainImage)
+	if enc >= net {
+		t.Errorf("encryption mem+branch fraction %.2f >= network %.2f", enc, net)
+	}
+	if enc >= img {
+		t.Errorf("encryption mem+branch fraction %.2f >= image %.2f", enc, img)
+	}
+	_ = sortedKeys(OpMix(doms[DomainEncryption][0].Program))
+}
+
+func TestHotBlocksAreHeavy(t *testing.T) {
+	// Every benchmark's first block is its hot loop: weight must dominate.
+	for _, b := range All() {
+		hot := b.Program.Blocks[0].Weight
+		for _, blk := range b.Program.Blocks[1:] {
+			if blk.Weight > hot {
+				t.Errorf("%s: block %s (%.0f) heavier than hot block (%.0f)",
+					b.Name, blk.Name, blk.Weight, hot)
+			}
+		}
+	}
+}
+
+// --- Reference cross-checks: the IR kernels compute the real algorithms ---
+
+func TestBlowfishRoundReference(t *testing.T) {
+	prog := Blowfish()
+	blk := prog.Block("feistel16")
+	const seed = 991
+	xl0, xr0 := uint32(0x01234567), uint32(0x89ABCDEF)
+
+	st := sim.NewState(seed)
+	st.Regs[BFRegXL] = xl0
+	st.Regs[BFRegXR] = xr0
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same two Feistel rounds, reading the same memory.
+	ref := sim.NewState(seed)
+	F := func(x uint32) uint32 {
+		a := x >> 24
+		b := (x >> 16) & 0xFF
+		c := (x >> 8) & 0xFF
+		d := x & 0xFF
+		s0 := ref.LoadWord(bfSBox + 0x000 + 4*a)
+		s1 := ref.LoadWord(bfSBox + 0x400 + 4*b)
+		s2 := ref.LoadWord(bfSBox + 0x800 + 4*c)
+		s3 := ref.LoadWord(bfSBox + 0xC00 + 4*d)
+		return ((s0 + s1) ^ s2) + s3
+	}
+	xl, xr := xl0, xr0
+	for r := 0; r < 16; r++ {
+		xl ^= ref.LoadWord(bfP + uint32(4*r))
+		xr ^= F(xl)
+		xl, xr = xr, xl
+	}
+	if st.Regs[BFRegXL] != xl || st.Regs[BFRegXR] != xr {
+		t.Fatalf("blowfish: got (%#x,%#x), want (%#x,%#x)",
+			st.Regs[BFRegXL], st.Regs[BFRegXR], xl, xr)
+	}
+}
+
+func TestSHARoundsReference(t *testing.T) {
+	prog := SHA()
+	blk := prog.Block("rounds4")
+	const seed = 4242
+	in := [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+
+	st := sim.NewState(seed)
+	for i, v := range in {
+		st.Regs[ir.R(i+1)] = v
+	}
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := sim.NewState(seed)
+	rotl := func(x uint32, s uint) uint32 { return x<<s | x>>(32-s) }
+	a, b, c, d, e := in[0], in[1], in[2], in[3], in[4]
+	type rf struct {
+		f func(b, c, d uint32) uint32
+		k uint32
+	}
+	fs := []rf{
+		{func(b, c, d uint32) uint32 { return (b & c) | (d &^ b) }, 0x5A827999},
+		{func(b, c, d uint32) uint32 { return b ^ c ^ d }, 0x6ED9EBA1},
+		{func(b, c, d uint32) uint32 { return (b & c) | (b & d) | (c & d) }, 0x8F1BBCDC},
+		{func(b, c, d uint32) uint32 { return b ^ c ^ d }, 0xCA62C1D6},
+	}
+	for i, r := range fs {
+		w := ref.LoadWord(shaW + uint32(4*i))
+		tmp := rotl(a, 5) + r.f(b, c, d) + e + r.k + w
+		a, b, c, d, e = tmp, a, rotl(b, 30), c, d
+	}
+	got := [5]uint32{st.Regs[ir.R(1)], st.Regs[ir.R(2)], st.Regs[ir.R(3)], st.Regs[ir.R(4)], st.Regs[ir.R(5)]}
+	want := [5]uint32{a, b, c, d, e}
+	if got != want {
+		t.Fatalf("sha rounds: got %x, want %x", got, want)
+	}
+}
+
+func TestCRCBitwiseReference(t *testing.T) {
+	prog := CRC()
+	blk := prog.Block("bitstep")
+	st := sim.NewState(3)
+	st.Regs[ir.R(1)] = 0xFFFFFFFF
+	st.Regs[ir.R(3)] = 'x'
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+	c := uint32(0xFFFFFFFF) ^ uint32('x')
+	for i := 0; i < 8; i++ {
+		if c&1 != 0 {
+			c = (c >> 1) ^ 0xEDB88320
+		} else {
+			c >>= 1
+		}
+	}
+	if st.Regs[ir.R(1)] != c {
+		t.Fatalf("crc bitstep: got %#x, want %#x", st.Regs[ir.R(1)], c)
+	}
+}
+
+func TestADPCMDecodeReference(t *testing.T) {
+	prog := RawDAudio()
+	blk := prog.Block("decodestep")
+	const seed = 17
+	for _, tc := range []struct{ delta, valpred, index, step uint32 }{
+		{0x5, 100, 30, 200},
+		{0xF, 0xFFFF8000, 0, 7}, // -32768 valpred, sign bit set in delta
+		{0x8, 32760, 88, 32767},
+	} {
+		st := sim.NewState(seed)
+		st.Regs[ir.R(1)] = tc.delta
+		st.Regs[ir.R(2)] = tc.valpred
+		st.Regs[ir.R(3)] = tc.index
+		st.Regs[ir.R(4)] = tc.step
+		if err := sim.RunBlock(blk, st); err != nil {
+			t.Fatal(err)
+		}
+
+		ref := sim.NewState(seed)
+		clamp := func(v, lo, hi int32) int32 {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		it := int32(ref.LoadWord(adpcmIndexTab + 4*(tc.delta&0xF)))
+		nindex := clamp(int32(tc.index)+it, 0, 88)
+		step := int32(tc.step)
+		vpdiff := step >> 3
+		if tc.delta&4 != 0 {
+			vpdiff += step
+		}
+		if tc.delta&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if tc.delta&1 != 0 {
+			vpdiff += step >> 2
+		}
+		valpred := int32(tc.valpred)
+		if tc.delta&8 != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clamp(valpred, -32768, 32767)
+		nstep := ref.LoadWord(adpcmStepTab + 4*uint32(nindex))
+
+		if st.Regs[ir.R(2)] != uint32(valpred) {
+			t.Fatalf("delta %#x: valpred %#x, want %#x", tc.delta, st.Regs[ir.R(2)], uint32(valpred))
+		}
+		if st.Regs[ir.R(3)] != uint32(nindex) {
+			t.Fatalf("delta %#x: index %d, want %d", tc.delta, st.Regs[ir.R(3)], nindex)
+		}
+		if st.Regs[ir.R(4)] != nstep {
+			t.Fatalf("delta %#x: step %#x, want %#x", tc.delta, st.Regs[ir.R(4)], nstep)
+		}
+	}
+}
+
+func TestADPCMEncodeDecodeConsistency(t *testing.T) {
+	// Encoding a difference then reconstructing must move valpred toward
+	// the sample (the ADPCM contract), using equal initial predictor state.
+	enc := RawCAudio().Block("encodestep")
+	dec := RawDAudio().Block("decodestep")
+	const seed = 23
+	sample, valpred, index, step := uint32(5000), uint32(1000), uint32(40), uint32(512)
+
+	se := sim.NewState(seed)
+	se.Regs[ir.R(1)] = sample
+	se.Regs[ir.R(2)] = valpred
+	se.Regs[ir.R(3)] = index
+	se.Regs[ir.R(4)] = step
+	if err := sim.RunBlock(enc, se); err != nil {
+		t.Fatal(err)
+	}
+	delta := se.Regs[ir.R(5)]
+
+	sd := sim.NewState(seed)
+	sd.Regs[ir.R(1)] = delta
+	sd.Regs[ir.R(2)] = valpred
+	sd.Regs[ir.R(3)] = index
+	sd.Regs[ir.R(4)] = step
+	if err := sim.RunBlock(dec, sd); err != nil {
+		t.Fatal(err)
+	}
+	// Encoder and decoder must reach the identical predictor state.
+	for _, r := range []ir.Reg{ir.R(2), ir.R(3), ir.R(4)} {
+		if se.Regs[r] != sd.Regs[r] {
+			t.Fatalf("reg %v: encoder %#x vs decoder %#x", r, se.Regs[r], sd.Regs[r])
+		}
+	}
+	// And the new prediction moved toward the sample.
+	oldDist := int32(sample) - int32(valpred)
+	newDist := int32(sample) - int32(se.Regs[ir.R(2)])
+	if abs32(newDist) > abs32(oldDist) {
+		t.Fatalf("prediction moved away from sample: %d -> %d", oldDist, newDist)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestURLHashReference(t *testing.T) {
+	// hash2 computes h = h*31 + c twice (strength-reduced); check against
+	// the plain multiplicative form.
+	prog := URL()
+	blk := prog.Block("hash2")
+	const seed = 51
+	st := sim.NewState(seed)
+	st.Regs[ir.R(1)] = 5381
+	st.Regs[ir.R(2)] = 0x2000
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+	ref := sim.NewState(seed)
+	h := uint32(5381)
+	for i := uint32(0); i < 2; i++ {
+		c := ref.LoadWord(0x2000+i) & 0xFF
+		h = h*31 + c
+	}
+	if st.Regs[ir.R(1)] != h {
+		t.Fatalf("url hash = %#x, want %#x", st.Regs[ir.R(1)], h)
+	}
+	if st.Regs[ir.R(2)] != 0x2002 {
+		t.Fatalf("pointer = %#x, want advance by 2", st.Regs[ir.R(2)])
+	}
+}
+
+func TestGSMSynthesisReference(t *testing.T) {
+	// One lattice section: sri' = add(sri, -mult_r(rrp, v)); v' = add(v,
+	// mult_r(rrp, sri')). Checked against the reference arithmetic.
+	prog := GSMDecode()
+	blk := prog.Block("synth2")
+	st := sim.NewState(1)
+	in := map[ir.Reg]int32{
+		ir.R(1): 12000, ir.R(2): -800, ir.R(3): 500, ir.R(4): 13107, ir.R(5): -9830,
+	}
+	for r, v := range in {
+		st.Regs[r] = uint32(v)
+	}
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+	clamp := func(v int64) int64 {
+		if v < -32768 {
+			return -32768
+		}
+		if v > 32767 {
+			return 32767
+		}
+		return v
+	}
+	multR := func(a, b int64) int64 { return clamp((a*b + 16384) >> 15) }
+	add := func(a, b int64) int64 { return clamp(a + b) }
+	sri := int64(in[ir.R(1)])
+	v0, v1 := int64(in[ir.R(2)]), int64(in[ir.R(3)])
+	rrp0, rrp1 := int64(in[ir.R(4)]), int64(in[ir.R(5)])
+	sri = add(sri, -multR(rrp0, v0))
+	nv1 := add(v0, multR(rrp0, sri))
+	sri = add(sri, -multR(rrp1, v1))
+	nv2 := add(v1, multR(rrp1, sri))
+	if int32(st.Regs[ir.R(1)]) != int32(sri) {
+		t.Fatalf("sri = %d, want %d", int32(st.Regs[ir.R(1)]), sri)
+	}
+	if int32(st.Regs[ir.R(2)]) != int32(nv1) || int32(st.Regs[ir.R(3)]) != int32(nv2) {
+		t.Fatalf("v = (%d,%d), want (%d,%d)",
+			int32(st.Regs[ir.R(2)]), int32(st.Regs[ir.R(3)]), nv1, nv2)
+	}
+}
+
+func TestGSMMultRSaturation(t *testing.T) {
+	// mult_r(32767, 32767) must saturate to 32767 in 16-bit terms.
+	b := ir.NewBlock("t", 1)
+	r := gsmMultR(b, b.Arg(ir.R(1)), b.Arg(ir.R(2)))
+	b.Def(ir.R(3), r)
+	st := sim.NewState(1)
+	st.Regs[ir.R(1)] = 32767
+	st.Regs[ir.R(2)] = 32767
+	if err := sim.RunBlock(b, st); err != nil {
+		t.Fatal(err)
+	}
+	if got := int32(st.Regs[ir.R(3)]); got != 32766 {
+		// (32767*32767 + 16384) >> 15 = 32766 (no saturation needed here)
+		t.Fatalf("mult_r = %d, want 32766", got)
+	}
+	st2 := sim.NewState(1)
+	st2.Regs[ir.R(1)] = 0xFFFF8000 // -32768
+	st2.Regs[ir.R(2)] = 0xFFFF8000
+	if err := sim.RunBlock(b, st2); err != nil {
+		t.Fatal(err)
+	}
+	if got := int32(st2.Regs[ir.R(3)]); got != 32767 {
+		t.Fatalf("mult_r(-32768,-32768) = %d, want saturated 32767", got)
+	}
+}
+
+func TestClampHelpers(t *testing.T) {
+	b := ir.NewBlock("c", 1)
+	b.Def(ir.R(2), clamp16(b, b.Arg(ir.R(1))))
+	b.Def(ir.R(3), clampRange(b, b.Arg(ir.R(1)), 0, 88))
+	for _, tc := range []struct{ in, want16, wantR uint32 }{
+		{100, 100, 88},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0}, // -1
+		{40000, 32767, 88},
+		{0xFFFF0000, 0xFFFF8000, 0}, // -65536 -> -32768 / 0
+		{50, 50, 50},
+	} {
+		st := sim.NewState(1)
+		st.Regs[ir.R(1)] = tc.in
+		if err := sim.RunBlock(b, st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Regs[ir.R(2)] != tc.want16 {
+			t.Errorf("clamp16(%#x) = %#x, want %#x", tc.in, st.Regs[ir.R(2)], tc.want16)
+		}
+		if st.Regs[ir.R(3)] != tc.wantR {
+			t.Errorf("clampRange(%#x) = %#x, want %#x", tc.in, st.Regs[ir.R(3)], tc.wantR)
+		}
+	}
+}
