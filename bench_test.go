@@ -10,6 +10,8 @@ package repro
 // print the same data as full tables.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiment"
@@ -99,6 +101,33 @@ func extensionBench(b *testing.B, domains ...string) {
 		}
 		b.ReportMetric(exact/float64(n), "mean-exact-speedup")
 		b.ReportMetric(full/float64(n), "mean-generalized-speedup")
+	}
+}
+
+// BenchmarkParallelSweep is the guardrail for the concurrent sweep
+// engine: the same Figure 7 encryption domain sweep at -j 1 and at one
+// worker per CPU. Compare the two sub-benchmarks' ns/op for the measured
+// wall-clock speedup (on a single-core machine they tie); the
+// effective-parallelism metric reports how many compile jobs were in
+// flight on average.
+func BenchmarkParallelSweep(b *testing.B) {
+	js := []int{1, runtime.GOMAXPROCS(0)}
+	if js[1] < 2 {
+		js[1] = 2 // single-core machines still exercise the pool
+	}
+	for _, j := range js {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			agg := 0.0
+			for i := 0; i < b.N; i++ {
+				h := experiment.NewHarness()
+				h.Parallelism = j
+				if _, err := h.Fig7Native(workloads.DomainEncryption, experiment.Budgets1to15()); err != nil {
+					b.Fatal(err)
+				}
+				agg += float64(h.AggregateJobTime())
+			}
+			b.ReportMetric(agg/float64(b.Elapsed()), "effective-parallelism")
+		})
 	}
 }
 

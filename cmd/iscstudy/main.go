@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/workloads"
@@ -33,6 +34,7 @@ func main() {
 	unroll := flag.Bool("unroll", false, "loop-unrolling study")
 	memcfu := flag.Bool("memcfu", false, "relaxed-memory CFU study (paper's future work)")
 	budget := flag.Float64("budget", 15, "cost point for the extension study")
+	jobs := flag.Int("j", 0, "parallel compile jobs (0 = one per CPU, 1 = serial); the report is identical at every setting")
 	flag.Parse()
 
 	if *all {
@@ -43,6 +45,8 @@ func main() {
 		os.Exit(2)
 	}
 	h := experiment.NewHarness()
+	h.Parallelism = *jobs
+	start := time.Now()
 
 	if *fig3 {
 		fmt.Println(experiment.Underline("Figure 3: design space exploration"))
@@ -130,4 +134,12 @@ func main() {
 			fmt.Println()
 		}
 	}
+	// Timing goes to stderr so stdout stays byte-identical across -j.
+	// Aggregate/wall equals the mean number of in-flight jobs; on unloaded
+	// cores that is the parallel speedup over a -j 1 run.
+	elapsed := time.Since(start)
+	agg := h.AggregateJobTime()
+	log.Printf("wall-clock %v for %v of compile jobs: parallel speedup %.2fx",
+		elapsed.Round(time.Millisecond), agg.Round(time.Millisecond),
+		float64(agg)/float64(elapsed))
 }

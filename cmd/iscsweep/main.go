@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/workloads"
@@ -27,6 +28,7 @@ func main() {
 	cross := flag.Bool("cross", false, "also produce the cross-compilation curves")
 	maxBudget := flag.Int("maxbudget", 15, "largest area budget in adders")
 	verify := flag.Bool("verify", false, "verify every compile in the functional simulator")
+	jobs := flag.Int("j", 0, "parallel compile jobs (0 = one per CPU, 1 = serial); the report is identical at every setting")
 	flag.Parse()
 
 	budgets := make([]float64, *maxBudget)
@@ -41,6 +43,8 @@ func main() {
 
 	h := experiment.NewHarness()
 	h.Verify = *verify
+	h.Parallelism = *jobs
+	start := time.Now()
 	for _, d := range domains {
 		native, err := h.Fig7Native(d, budgets)
 		if err != nil {
@@ -59,4 +63,12 @@ func main() {
 			fmt.Println()
 		}
 	}
+	// Timing goes to stderr so stdout stays byte-identical across -j.
+	// Aggregate/wall equals the mean number of in-flight jobs; on unloaded
+	// cores that is the parallel speedup over a -j 1 run.
+	elapsed := time.Since(start)
+	agg := h.AggregateJobTime()
+	log.Printf("wall-clock %v for %v of compile jobs: parallel speedup %.2fx",
+		elapsed.Round(time.Millisecond), agg.Round(time.Millisecond),
+		float64(agg)/float64(elapsed))
 }

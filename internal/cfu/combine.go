@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/explore"
 	"repro/internal/graph"
@@ -50,8 +51,12 @@ type CFU struct {
 	// multi-function unit.
 	Wildcards []int
 	// Variants are the subsumed-subgraph patterns this CFU's hardware can
-	// also execute, for the compiler's generalized matching.
-	Variants []*graph.Shape
+	// also execute, for the compiler's generalized matching. They are
+	// generated lazily (selection only pays for the CFUs it picks); the
+	// sync.Once makes that lazy fill safe when goroutines share a
+	// candidate list read-only.
+	Variants     []*graph.Shape
+	variantsOnce sync.Once
 }
 
 // Name returns the CFU's mnemonic, e.g. "cfu3<shl-and-add>".
@@ -135,12 +140,15 @@ func AnalyzeRelationships(cfus []*CFU, lib *hwlib.Library, opts CombineOptions) 
 }
 
 func ensureVariants(c *CFU, maxVariants int) {
-	if c.Variants == nil {
+	c.variantsOnce.Do(func() {
+		if c.Variants != nil {
+			return // pre-populated (e.g. decoded from an MDES)
+		}
 		c.Variants = graph.SubsumedVariants(c.Shape, maxVariants)
 		if c.Variants == nil {
 			c.Variants = []*graph.Shape{}
 		}
-	}
+	})
 }
 
 // relationIndex buckets candidates so per-CFU relationship discovery does

@@ -19,6 +19,10 @@ import (
 // The returned slice contains the original candidates followed by the
 // merged ones (with fresh IDs). topK bounds how many candidates, by value,
 // participate in pairing (0 = 200).
+//
+// Pairing records wildcard links on the input candidates, so — like
+// Select — concurrent calls over the same candidate slice must be
+// serialized by the caller.
 func BuildMultiFunction(cfus []*CFU, lib *hwlib.Library, topK int) []*CFU {
 	if topK == 0 {
 		topK = 200

@@ -1,0 +1,52 @@
+package cfu
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/hwlib"
+	"repro/internal/workloads"
+)
+
+// TestLazyVariantsConcurrent exercises the read-only sharing contract a
+// parallel harness relies on: once combination is done, goroutines may
+// concurrently hash signatures and force lazy variant generation on the
+// same candidates. Under -race this catches an unguarded lazy fill.
+func TestLazyVariantsConcurrent(t *testing.T) {
+	lib := hwlib.Default()
+	b, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := explore.Explore(b.Program, explore.DefaultConfig(lib))
+	cands := Combine(res, lib, CombineOptions{})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range cands {
+				c.Shape.Signature()
+				ensureVariants(c, 0)
+				if c.Variants == nil {
+					t.Error("ensureVariants left Variants nil")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Selection itself must stay serialized per candidate list (it
+	// mutates relationship links); run it once afterwards to confirm the
+	// concurrent warm-up did not corrupt anything it depends on.
+	sel := Select(cands, SelectOptions{Budget: 15, Lib: lib})
+	if len(sel.CFUs) == 0 || sel.TotalArea <= 0 {
+		t.Fatalf("selection after concurrent warm-up broken: %+v", sel)
+	}
+}

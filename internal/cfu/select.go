@@ -65,6 +65,11 @@ type Selection struct {
 }
 
 // Select spends the area budget on candidate CFUs.
+//
+// Select lazily records subsumption and wildcard relationships on the
+// candidates it picks, so concurrent Select calls over the SAME candidate
+// slice must be serialized by the caller (experiment.Harness holds a
+// per-application lock). Distinct candidate lists are independent.
 func Select(cfus []*CFU, opts SelectOptions) *Selection {
 	if opts.SubsumedDiscount == 0 {
 		opts.SubsumedDiscount = 0.05

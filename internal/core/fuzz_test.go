@@ -1,10 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/ir"
 	"repro/internal/sim"
+	"repro/internal/workloads"
 )
 
 // randomProgram builds a pseudo-random but valid program: a mix of ALU
@@ -98,6 +102,48 @@ func TestFuzzCustomizeSemantics(t *testing.T) {
 			t.Fatalf("seed %d: transformed program invalid: %v", seed, err)
 		}
 	}
+}
+
+// FuzzASMRoundTrip hardens the assembly parser, the system's only textual
+// input surface: for any input that parses at all, print → parse → print
+// must reach a fixed point (the printed form is canonical), the reparse
+// must never fail, and nothing may panic. The corpus seeds are all
+// thirteen benchmark programs printed through asm.Write, so `go test`
+// already round-trips every real workload; `go test -fuzz=FuzzASMRoundTrip
+// ./internal/core` explores mutations from there.
+func FuzzASMRoundTrip(f *testing.F) {
+	for _, b := range workloads.All() {
+		var buf bytes.Buffer
+		if err := asm.Write(&buf, b.Program); err != nil {
+			f.Fatalf("%s: %v", b.Name, err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add("program p\nblock b weight 1\n  %1 = add r1, #2\n  ret\n")
+	f.Add("program p\nblock b weight 0.5 succs b\n  %1 = load r1\n  store r1, %1\n  br\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Parse(strings.NewReader(src))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		var first bytes.Buffer
+		if err := asm.Write(&first, p); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		p2, err := asm.Parse(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := asm.Write(&second, p2); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("print/parse/print is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.String(), second.String())
+		}
+	})
 }
 
 // TestFuzzReplacementAgainstSim is a tighter loop over the riskiest part:

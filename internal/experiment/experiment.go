@@ -8,6 +8,9 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cfu"
 	"repro/internal/compile"
@@ -30,7 +33,11 @@ func Budgets1to15() []float64 {
 }
 
 // Harness caches the expensive per-benchmark artifacts (exploration and
-// combination) so sweeps over budgets and cross-compiles reuse them.
+// combination) so sweeps over budgets and cross-compiles reuse them. All
+// methods are safe for concurrent use: the caches are compute-once across
+// goroutines, and the sweep/study harnesses fan their compile jobs out
+// over Parallelism workers while merging results in input order, so their
+// output is byte-identical to a serial run.
 type Harness struct {
 	Lib     *hwlib.Library
 	Machine *machine.Desc
@@ -41,66 +48,86 @@ type Harness struct {
 	ExploreConfig *explore.Config
 	// SelectMode is the selection heuristic (default GreedyRatio).
 	SelectMode cfu.SelectMode
+	// Parallelism bounds the number of concurrent compile jobs in the
+	// sweep and study harnesses (0 = runtime.GOMAXPROCS(0), 1 = serial).
+	// Set configuration fields before the first run: the memo caches key
+	// on benchmark name and budget, not on Lib/SelectMode/ExploreConfig.
+	Parallelism int
 
-	benches map[string]*workloads.Benchmark
-	cands   map[string][]*cfu.CFU
+	mu       sync.Mutex
+	benches  map[string]*memoCell[*workloads.Benchmark]
+	cands    map[string]*memoCell[[]*cfu.CFU]
+	mdess    map[mdesKey]*memoCell[*mdes.MDES]
+	selLocks map[string]*sync.Mutex
+	// jobNanos accumulates per-job wall time for the speedup report.
+	jobNanos atomic.Int64
+}
+
+// mdesKey identifies one selection: an application's candidates spent at
+// one area budget.
+type mdesKey struct {
+	name   string
+	budget float64
 }
 
 // NewHarness returns a harness with the paper's defaults.
 func NewHarness() *Harness {
 	return &Harness{
-		Lib:     hwlib.Default(),
-		Machine: machine.Default4Wide(),
-		benches: make(map[string]*workloads.Benchmark),
-		cands:   make(map[string][]*cfu.CFU),
+		Lib:      hwlib.Default(),
+		Machine:  machine.Default4Wide(),
+		benches:  make(map[string]*memoCell[*workloads.Benchmark]),
+		cands:    make(map[string]*memoCell[[]*cfu.CFU]),
+		mdess:    make(map[mdesKey]*memoCell[*mdes.MDES]),
+		selLocks: make(map[string]*sync.Mutex),
 	}
 }
 
 // Benchmark returns (and caches) the named benchmark.
 func (h *Harness) Benchmark(name string) (*workloads.Benchmark, error) {
-	if b, ok := h.benches[name]; ok {
-		return b, nil
-	}
-	b, err := workloads.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	h.benches[name] = b
-	return b, nil
+	return memoize(&h.mu, h.benches, name, func() (*workloads.Benchmark, error) {
+		return workloads.ByName(name)
+	})
 }
 
-// Candidates runs exploration + combination for the named benchmark once.
+// Candidates runs exploration + combination for the named benchmark once,
+// no matter how many workers ask for it concurrently.
 func (h *Harness) Candidates(name string) ([]*cfu.CFU, error) {
-	if c, ok := h.cands[name]; ok {
-		return c, nil
-	}
-	b, err := h.Benchmark(name)
-	if err != nil {
-		return nil, err
-	}
-	cfg := explore.DefaultConfig(h.Lib)
-	if h.ExploreConfig != nil {
-		cfg = *h.ExploreConfig
-	}
-	res := explore.Explore(b.Program, cfg)
-	cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{})
-	h.cands[name] = cands
-	return cands, nil
+	return memoize(&h.mu, h.cands, name, func() ([]*cfu.CFU, error) {
+		b, err := h.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := explore.DefaultConfig(h.Lib)
+		if h.ExploreConfig != nil {
+			cfg = *h.ExploreConfig
+		}
+		res := explore.Explore(b.Program, cfg)
+		return cfu.Combine(res, h.Lib, cfu.CombineOptions{}), nil
+	})
 }
 
 // MDESAt selects CFUs for the named benchmark at the given area budget.
+// Selections are memoized per (benchmark, budget), and the cfu.Select call
+// itself is serialized per benchmark because selection lazily mutates the
+// shared candidate list.
 func (h *Harness) MDESAt(name string, budget float64) (*mdes.MDES, error) {
-	cands, err := h.Candidates(name)
-	if err != nil {
-		return nil, err
-	}
-	sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode})
-	return mdes.FromSelection(name, budget, sel), nil
+	return memoize(&h.mu, h.mdess, mdesKey{name, budget}, func() (*mdes.MDES, error) {
+		cands, err := h.Candidates(name)
+		if err != nil {
+			return nil, err
+		}
+		l := h.selLock(name)
+		l.Lock()
+		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode})
+		l.Unlock()
+		return mdes.FromSelection(name, budget, sel), nil
+	})
 }
 
 // CompileOn compiles application app against the CFUs generated for
 // cfuSource at the given budget and returns the speedup report.
 func (h *Harness) CompileOn(app, cfuSource string, budget float64, opts compile.Options) (*compile.Report, error) {
+	defer h.noteJobTime(time.Now())
 	b, err := h.Benchmark(app)
 	if err != nil {
 		return nil, err
@@ -151,19 +178,46 @@ func (s *SweepResult) Label() string {
 	return s.App + "-" + s.CFUSource
 }
 
+// sweepPair is one (application, CFU source) curve request.
+type sweepPair struct {
+	app, src string
+}
+
+// sweepAll compiles every (pair, budget) combination as one flat job list
+// on the worker pool, writing each speedup into its predetermined slot so
+// the curves come back in input order regardless of scheduling.
+func (h *Harness) sweepAll(pairs []sweepPair, budgets []float64) ([]*SweepResult, error) {
+	out := make([]*SweepResult, len(pairs))
+	for k, p := range pairs {
+		out[k] = &SweepResult{App: p.app, CFUSource: p.src, Points: make([]SweepPoint, len(budgets))}
+	}
+	if len(budgets) == 0 {
+		return out, nil
+	}
+	err := h.parallelFor(len(pairs)*len(budgets), func(j int) error {
+		k, bi := j/len(budgets), j%len(budgets)
+		rep, err := h.CompileOn(pairs[k].app, pairs[k].src, budgets[bi], compile.Options{})
+		if err != nil {
+			return err
+		}
+		out[k].Points[bi] = SweepPoint{Budget: budgets[bi], Speedup: rep.Speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Sweep compiles app against cfuSource's CFUs across the budgets. The
 // compiler generalizations are enabled as in the paper's Figure 7 runs
 // (exact matching only; extensions are studied separately).
 func (h *Harness) Sweep(app, cfuSource string, budgets []float64) (*SweepResult, error) {
-	res := &SweepResult{App: app, CFUSource: cfuSource}
-	for _, budget := range budgets {
-		rep, err := h.CompileOn(app, cfuSource, budget, compile.Options{})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, SweepPoint{Budget: budget, Speedup: rep.Speedup})
+	res, err := h.sweepAll([]sweepPair{{app, cfuSource}}, budgets)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return res[0], nil
 }
 
 // Fig7Native produces the left half of Figure 7 for one domain: every
@@ -173,15 +227,11 @@ func (h *Harness) Fig7Native(domain string, budgets []float64) ([]*SweepResult, 
 	if err != nil {
 		return nil, err
 	}
-	var out []*SweepResult
-	for _, app := range apps {
-		r, err := h.Sweep(app, app, budgets)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	pairs := make([]sweepPair, len(apps))
+	for i, app := range apps {
+		pairs[i] = sweepPair{app, app}
 	}
-	return out, nil
+	return h.sweepAll(pairs, budgets)
 }
 
 // Fig7Cross produces the right half of Figure 7 for one domain: every
@@ -191,20 +241,15 @@ func (h *Harness) Fig7Cross(domain string, budgets []float64) ([]*SweepResult, e
 	if err != nil {
 		return nil, err
 	}
-	var out []*SweepResult
+	var pairs []sweepPair
 	for _, app := range apps {
 		for _, src := range apps {
-			if src == app {
-				continue
+			if src != app {
+				pairs = append(pairs, sweepPair{app, src})
 			}
-			r, err := h.Sweep(app, src, budgets)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, r)
 		}
 	}
-	return out, nil
+	return h.sweepAll(pairs, budgets)
 }
 
 func domainApps(domain string) ([]string, error) {
@@ -252,28 +297,37 @@ func (h *Harness) ExtensionStudy(domain string, budget float64) ([]*ExtensionRes
 	var out []*ExtensionResult
 	for _, app := range apps {
 		for _, src := range apps {
-			er := &ExtensionResult{App: app, CFUSource: src}
-			modes := []struct {
-				dst               *float64
-				variants, classes bool
-			}{
-				{&er.Exact, false, false},
-				{&er.ExactSubsumed, true, false},
-				{&er.Wildcard, false, true},
-				{&er.WildcardSubsumed, true, true},
-			}
-			for _, m := range modes {
-				rep, err := h.CompileOn(app, src, budget, compile.Options{
-					UseVariants:      m.variants,
-					UseOpcodeClasses: m.classes,
-				})
-				if err != nil {
-					return nil, err
-				}
-				*m.dst = rep.Speedup
-			}
-			out = append(out, er)
+			out = append(out, &ExtensionResult{App: app, CFUSource: src})
 		}
+	}
+	// The four matching modes of one bar group are independent compiles,
+	// so the job list is (pair, mode); each job writes its own field.
+	modes := [4]struct{ variants, classes bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	}
+	err = h.parallelFor(len(out)*len(modes), func(j int) error {
+		er, m := out[j/len(modes)], modes[j%len(modes)]
+		rep, err := h.CompileOn(er.App, er.CFUSource, budget, compile.Options{
+			UseVariants:      m.variants,
+			UseOpcodeClasses: m.classes,
+		})
+		if err != nil {
+			return err
+		}
+		switch {
+		case m.variants && m.classes:
+			er.WildcardSubsumed = rep.Speedup
+		case m.variants:
+			er.ExactSubsumed = rep.Speedup
+		case m.classes:
+			er.Wildcard = rep.Speedup
+		default:
+			er.Exact = rep.Speedup
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -294,11 +348,12 @@ func (h *Harness) LimitStudy(apps []string) ([]*LimitResult, error) {
 	if apps == nil {
 		apps = workloads.Names()
 	}
-	var out []*LimitResult
-	for _, app := range apps {
+	out := make([]*LimitResult, len(apps))
+	err := h.parallelFor(len(apps), func(i int) error {
+		app := apps[i]
 		rep15, err := h.CompileOn(app, app, 15, compile.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Unconstrained run. The candidate pool is the union of the
@@ -310,7 +365,7 @@ func (h *Harness) LimitStudy(apps []string) ([]*LimitResult, error) {
 		// constrained one.
 		b, err := h.Benchmark(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		relaxed := explore.DefaultConfig(h.Lib)
 		relaxed.MaxInputs = 96
@@ -322,14 +377,19 @@ func (h *Harness) LimitStudy(apps []string) ([]*LimitResult, error) {
 		base := explore.Explore(b.Program, explore.DefaultConfig(h.Lib))
 		res.Candidates = append(res.Candidates, base.Candidates...)
 
+		// The unconstrained pool is local to this job, so no select lock.
 		cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{})
 		sel := cfu.Select(cands, cfu.SelectOptions{Budget: 1e9, Mode: h.SelectMode, Lib: h.Lib})
 		m := mdes.FromSelection(app, 1e9, sel)
 		_, repInf, err := compile.Compile(b.Program, m, compile.Options{Machine: h.Machine, Lib: h.Lib})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, &LimitResult{App: app, At15: rep15.Speedup, Unlimited: repInf.Speedup})
+		out[i] = &LimitResult{App: app, At15: rep15.Speedup, Unlimited: repInf.Speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -429,14 +489,18 @@ func (r *MultiFunctionResult) Label() string {
 
 // multiFuncMDES selects CFUs for source with merged multi-function
 // candidates admitted, returning the MDES and how many merged units made
-// the cut.
+// the cut. Pairing and selection both mutate the shared candidate list,
+// so the whole computation runs under the source's select lock.
 func (h *Harness) multiFuncMDES(source string, budget float64) (*mdes.MDES, int, error) {
 	cands, err := h.Candidates(source)
 	if err != nil {
 		return nil, 0, err
 	}
+	l := h.selLock(source)
+	l.Lock()
 	multi := cfu.BuildMultiFunction(cands, h.Lib, 0)
 	sel := cfu.Select(multi, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Lib: h.Lib})
+	l.Unlock()
 	merged := 0
 	for _, c := range sel.CFUs {
 		for _, n := range c.Shape.Nodes {
@@ -458,31 +522,45 @@ func (h *Harness) MultiFunctionStudy(domain string, budget float64) ([]*MultiFun
 	if err != nil {
 		return nil, err
 	}
-	var out []*MultiFunctionResult
-	for _, src := range apps {
-		mMulti, merged, err := h.multiFuncMDES(src, budget)
+	// One multi-function MDES per source, computed once and shared by the
+	// (src, app) compile jobs through a local memo.
+	type multiSel struct {
+		m      *mdes.MDES
+		merged int
+	}
+	var multiMu sync.Mutex
+	multiCells := make(map[string]*memoCell[multiSel])
+	out := make([]*MultiFunctionResult, len(apps)*len(apps))
+	err = h.parallelFor(len(out), func(j int) error {
+		src, app := apps[j/len(apps)], apps[j%len(apps)]
+		ms, err := memoize(&multiMu, multiCells, src, func() (multiSel, error) {
+			m, merged, err := h.multiFuncMDES(src, budget)
+			return multiSel{m, merged}, err
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, app := range apps {
-			b, err := h.Benchmark(app)
-			if err != nil {
-				return nil, err
-			}
-			r := &MultiFunctionResult{App: app, CFUSource: src, MergedSelected: merged}
-			repS, err := h.CompileOn(app, src, budget, compile.Options{})
-			if err != nil {
-				return nil, err
-			}
-			r.Single = repS.Speedup
-			_, repM, err := compile.Compile(b.Program, mMulti,
-				compile.Options{Machine: h.Machine, Lib: h.Lib})
-			if err != nil {
-				return nil, err
-			}
-			r.Multi = repM.Speedup
-			out = append(out, r)
+		b, err := h.Benchmark(app)
+		if err != nil {
+			return err
 		}
+		r := &MultiFunctionResult{App: app, CFUSource: src, MergedSelected: ms.merged}
+		repS, err := h.CompileOn(app, src, budget, compile.Options{})
+		if err != nil {
+			return err
+		}
+		r.Single = repS.Speedup
+		_, repM, err := compile.Compile(b.Program, ms.m,
+			compile.Options{Machine: h.Machine, Lib: h.Lib})
+		if err != nil {
+			return err
+		}
+		r.Multi = repM.Speedup
+		out[j] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -601,17 +679,24 @@ func (h *Harness) SelectionAblation(app string, budgets []float64) ([]AblationPo
 	if err != nil {
 		return nil, err
 	}
-	var out []AblationPoint
-	for _, mode := range []cfu.SelectMode{cfu.GreedyRatio, cfu.GreedyValue, cfu.Knapsack} {
-		for _, budget := range budgets {
-			sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: mode})
-			m := mdes.FromSelection(app, budget, sel)
-			_, rep, err := compile.Compile(b.Program, m, compile.Options{Machine: h.Machine, Lib: h.Lib})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, AblationPoint{Mode: mode, Budget: budget, Speedup: rep.Speedup})
+	modes := []cfu.SelectMode{cfu.GreedyRatio, cfu.GreedyValue, cfu.Knapsack}
+	out := make([]AblationPoint, len(modes)*len(budgets))
+	err = h.parallelFor(len(out), func(j int) error {
+		mode, budget := modes[j/len(budgets)], budgets[j%len(budgets)]
+		l := h.selLock(app)
+		l.Lock()
+		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: mode})
+		l.Unlock()
+		m := mdes.FromSelection(app, budget, sel)
+		_, rep, err := compile.Compile(b.Program, m, compile.Options{Machine: h.Machine, Lib: h.Lib})
+		if err != nil {
+			return err
 		}
+		out[j] = AblationPoint{Mode: mode, Budget: budget, Speedup: rep.Speedup}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

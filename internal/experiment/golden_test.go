@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mdes"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestMDESGoldenBlowfish pins the serialized machine description — the
+// interchange format between the hardware and software compilers — for
+// blowfish at a 4-adder budget against a checked-in golden file. Any
+// schema drift (field rename, ordering change, selection change) fails
+// here explicitly; regenerate deliberately with
+//
+//	go test ./internal/experiment -run MDESGolden -update
+func TestMDESGoldenBlowfish(t *testing.T) {
+	h := NewHarness()
+	m, err := h.MDESAt("blowfish", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "blowfish_b4.mdes.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("MDES JSON for blowfish@4 drifted from %s.\n"+
+			"If the change is intentional, regenerate with -update.\n got %d bytes, want %d bytes",
+			golden, buf.Len(), len(want))
+	}
+
+	// The golden file must itself stay a valid, fully validated MDES.
+	m2, err := mdes.ReadJSON(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden file no longer parses: %v", err)
+	}
+	if m2.Source != "blowfish" || len(m2.CFUs) != len(m.CFUs) {
+		t.Fatalf("golden round-trip mismatch: source %q, %d cfus (want %d)",
+			m2.Source, len(m2.CFUs), len(m.CFUs))
+	}
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workers resolves the harness's degree of parallelism: Parallelism when
+// positive, else one worker per available CPU.
+func (h *Harness) workers() int {
+	if h.Parallelism > 0 {
+		return h.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for every i in [0, n), fanning the indices out
+// over at most workers() goroutines. Results must be written by fn into
+// index i of a pre-sized slice, which makes the merge order identical to
+// the serial loop no matter how the scheduler interleaves jobs. The
+// returned error is the lowest-index failure, again matching what a
+// serial loop would report first.
+func (h *Harness) parallelFor(n int, fn func(i int) error) error {
+	w := h.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// memoCell holds one compute-once cache entry. The harness maps keys to
+// cells under its mutex but runs the expensive computation outside it, so
+// different keys compute in parallel while a contested key computes
+// exactly once and every waiter gets the same value.
+type memoCell[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// memoize returns the cached value for key, computing it via f exactly
+// once across all goroutines. mu guards only the map lookup.
+func memoize[K comparable, V any](mu *sync.Mutex, m map[K]*memoCell[V], key K, f func() (V, error)) (V, error) {
+	mu.Lock()
+	c, ok := m[key]
+	if !ok {
+		c = &memoCell[V]{}
+		m[key] = c
+	}
+	mu.Unlock()
+	c.once.Do(func() { c.val, c.err = f() })
+	return c.val, c.err
+}
+
+// selLock returns the per-application mutex serializing cfu.Select (and
+// BuildMultiFunction) calls over that application's shared candidate
+// slice; selection lazily mutates the candidates it picks.
+func (h *Harness) selLock(app string) *sync.Mutex {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	l, ok := h.selLocks[app]
+	if !ok {
+		l = &sync.Mutex{}
+		h.selLocks[app] = l
+	}
+	return l
+}
+
+// noteJobTime accumulates the wall-clock time one compile job spent, for
+// the tools' parallel-speedup report.
+func (h *Harness) noteJobTime(start time.Time) {
+	h.jobNanos.Add(int64(time.Since(start)))
+}
+
+// AggregateJobTime returns the summed wall-clock duration of every
+// CompileOn job the harness has run. On a single worker it approximates
+// total elapsed time; with N workers elapsed time shrinks while this sum
+// stays put, so AggregateJobTime/elapsed estimates the parallel speedup.
+func (h *Harness) AggregateJobTime() time.Duration {
+	return time.Duration(h.jobNanos.Load())
+}

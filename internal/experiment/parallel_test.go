@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/compile"
+)
+
+// TestParallelDeterminism proves the tentpole guarantee: a full Figure 7
+// domain sweep fanned out over 8 workers merges into exactly the same
+// []*SweepResult — order and values — as the serial run, so reports and
+// golden figures can never drift with -j.
+func TestParallelDeterminism(t *testing.T) {
+	budgets := Budgets1to15()
+	if testing.Short() {
+		budgets = []float64{1, 4, 9, 15}
+	}
+
+	serial := NewHarness()
+	serial.Parallelism = 1
+	want, err := serial.Fig7Native("encryption", budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel := NewHarness()
+	parallel.Parallelism = 8
+	got, err := parallel.Fig7Native("encryption", budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("parallel sweep diverged from serial baseline:\nserial:   %+v\nparallel: %+v",
+			dump(want), dump(got))
+	}
+}
+
+func dump(rs []*SweepResult) []SweepResult {
+	out := make([]SweepResult, len(rs))
+	for i, r := range rs {
+		out[i] = *r
+	}
+	return out
+}
+
+// TestParallelDeterminismCross covers the cross-compilation matrix, where
+// jobs for one app contend on several sources' selection caches at once.
+func TestParallelDeterminismCross(t *testing.T) {
+	budgets := []float64{2, 15}
+	serial := NewHarness()
+	serial.Parallelism = 1
+	want, err := serial.Fig7Cross("encryption", budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := NewHarness()
+	parallel.Parallelism = 8
+	got, err := parallel.Fig7Cross("encryption", budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("parallel cross sweep diverged:\nserial:   %+v\nparallel: %+v",
+			dump(want), dump(got))
+	}
+}
+
+// TestHarnessSharedRace hammers one harness from 8 goroutines that call
+// Candidates, MDESAt and CompileOn on overlapping applications and
+// budgets. It asserts nothing beyond error-freedom and cache coherence —
+// its job is to give `go test -race` the interleavings that would expose
+// an unguarded cache or a lazily mutated shared candidate list.
+func TestHarnessSharedRace(t *testing.T) {
+	h := NewHarness()
+	apps := []string{"blowfish", "sha"}
+	budgets := []float64{2, 5}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app := apps[g%len(apps)]
+			other := apps[(g+1)%len(apps)]
+			budget := budgets[g%len(budgets)]
+			switch g % 4 {
+			case 0:
+				_, errs[g] = h.Candidates(app)
+			case 1:
+				_, errs[g] = h.MDESAt(app, budget)
+			case 2:
+				_, errs[g] = h.CompileOn(app, other, budget, compile.Options{})
+			default:
+				_, errs[g] = h.CompileOn(app, app, budget, compile.Options{
+					UseVariants: true, UseOpcodeClasses: true,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+
+	// The memo must have produced one candidate list per app: a second
+	// call returns the identical slice.
+	for _, app := range apps {
+		c1, err := h.Candidates(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, _ := h.Candidates(app)
+		if len(c1) == 0 || &c1[0] != &c2[0] {
+			t.Fatalf("%s: candidates recomputed instead of memoized", app)
+		}
+	}
+}
+
+// TestParallelErrorIsFirstByIndex pins the error contract of the worker
+// pool: whatever the interleaving, the reported failure is the one a
+// serial loop would have hit first.
+func TestParallelErrorIsFirstByIndex(t *testing.T) {
+	h := NewHarness()
+	h.Parallelism = 8
+	_, err := h.Sweep("bogus", "bogus", []float64{1, 2, 3, 4})
+	if err == nil {
+		t.Fatal("expected unknown-benchmark error")
+	}
+	want, err2 := h.Sweep("bogus", "bogus", []float64{1})
+	_ = want
+	if err2 == nil || err.Error() != err2.Error() {
+		t.Fatalf("parallel error %q differs from serial first error %q", err, err2)
+	}
+}

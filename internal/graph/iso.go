@@ -5,10 +5,11 @@ import "sort"
 // Signature returns a fast invariant bucket key: shapes with different
 // signatures are guaranteed non-isomorphic. Used to avoid quadratic
 // pairwise isomorphism checks during candidate combination. The key is
-// cached; shapes must not be mutated after first use.
+// computed once per shape and cached; shapes must not be mutated after
+// first use. The cache is safe to fill from concurrent goroutines.
 func (s *Shape) Signature() string {
-	if s.sig != "" {
-		return s.sig
+	if p := s.sig.Load(); p != nil {
+		return *p
 	}
 	depth := make([]int, len(s.Nodes))
 	rows := make([]uint64, len(s.Nodes))
@@ -44,16 +45,23 @@ func (s *Shape) Signature() string {
 		buf = append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24),
 			byte(r>>32), byte(r>>40), byte(r>>48), byte(r>>56))
 	}
-	s.sig = string(buf)
-	return s.sig
+	sig := string(buf)
+	s.sig.Store(&sig)
+	return sig
 }
 
 // Isomorphic reports whether a and b are the same CFU pattern: a bijection
 // of nodes preserving opcodes, edges (allowing swapped operands of
 // commutative operations), external-input port identification, immediate
 // positions, and output-ness. This is the equivalence used to group
-// candidate subgraphs into CFUs.
+// candidate subgraphs into CFUs. Differing signatures prove
+// non-isomorphism, so the cached keys short-circuit the backtracking
+// search; WildcardPair cannot use this filter because its one allowed
+// opcode mismatch changes the signature.
 func Isomorphic(a, b *Shape) bool {
+	if a.Signature() != b.Signature() {
+		return false
+	}
 	m, _ := isoSearch(a, b, 0)
 	return m != nil
 }

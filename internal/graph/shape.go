@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ir"
 )
@@ -61,8 +62,11 @@ type Shape struct {
 	// Outputs lists node indices whose values leave the CFU, in port order.
 	Outputs []int
 
-	// sig caches Signature(); shapes are immutable once in use.
-	sig string
+	// sig caches Signature(). Shapes are immutable once in use, but the
+	// cache itself fills lazily from whichever goroutine asks first, so it
+	// is an atomic pointer: concurrent fills compute the same bytes and the
+	// losing store is harmless.
+	sig atomic.Pointer[string]
 }
 
 // Validate checks the topological-order and index-range invariants.

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// chainShape builds an n-node alternating add/xor chain ending in one
+// output, a convenient non-trivial pattern for signature tests.
+func chainShape(n int) *Shape {
+	s := &Shape{NumInputs: 2}
+	for i := 0; i < n; i++ {
+		code := ir.Add
+		if i%2 == 1 {
+			code = ir.Xor
+		}
+		var ins []Ref
+		if i == 0 {
+			ins = []Ref{{Kind: RefInput, Index: 0}, {Kind: RefInput, Index: 1}}
+		} else {
+			ins = []Ref{{Kind: RefNode, Index: i - 1}, {Kind: RefInput, Index: 1}}
+		}
+		s.Nodes = append(s.Nodes, Node{Code: code, Ins: ins})
+	}
+	s.Outputs = []int{n - 1}
+	return s
+}
+
+// TestSignatureConcurrent fills one shape's signature cache from many
+// goroutines at once; under -race this proves the lazy cache is safe, and
+// the value check proves every filler computed the same key.
+func TestSignatureConcurrent(t *testing.T) {
+	s := chainShape(12)
+	want := chainShape(12).Signature() // reference from an identical twin
+
+	var wg sync.WaitGroup
+	got := make([]string, 16)
+	for g := range got {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = s.Signature()
+		}(g)
+	}
+	wg.Wait()
+	for g, sig := range got {
+		if sig != want {
+			t.Fatalf("goroutine %d: signature diverged", g)
+		}
+	}
+}
+
+// TestIsomorphicSignaturePrefilter checks that the signature fast path
+// cannot change Isomorphic's answer: equal shapes still match, and shapes
+// differing only in one opcode (same structure) are rejected either way.
+func TestIsomorphicSignaturePrefilter(t *testing.T) {
+	a, b := chainShape(6), chainShape(6)
+	if !Isomorphic(a, b) {
+		t.Fatal("identical chains must be isomorphic")
+	}
+	c := chainShape(6)
+	c.Nodes[3].Code = ir.Or // same arity/structure, different opcode
+	if Isomorphic(a, c) {
+		t.Fatal("opcode change must break isomorphism")
+	}
+	// The one-mismatch search must still see through the signature
+	// difference (WildcardPair takes no signature shortcut).
+	if na, nb, ok := WildcardPair(a, c); !ok || na != 3 || nb != 3 {
+		t.Fatalf("WildcardPair = (%d,%d,%v), want (3,3,true)", na, nb, ok)
+	}
+}
