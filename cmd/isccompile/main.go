@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/mdes"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -28,11 +30,23 @@ func main() {
 	variants := flag.Bool("variants", false, "enable subsumed-subgraph matching")
 	classes := flag.Bool("classes", false, "enable opcode-class wildcard matching")
 	verify := flag.Bool("verify", true, "verify transformed blocks in the functional simulator")
+	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if (*bench == "" && *asmPath == "") || *mdesPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		log.Printf("pprof listening on %s", *pprofAddr)
+	}
+	var tel *telemetry.Registry
+	if *trace != "" {
+		tel = telemetry.New("isccompile")
 	}
 	b, err := workloads.Load(*bench, *asmPath)
 	if err != nil {
@@ -52,6 +66,7 @@ func main() {
 		UseVariants:      *variants,
 		UseOpcodeClasses: *classes,
 		Verify:           *verify,
+		Telemetry:        tel,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -66,10 +81,32 @@ func main() {
 	fmt.Printf("  weighted cycles: %.0f -> %.0f\n", rep.BaselineCycles, rep.CustomCycles)
 	fmt.Printf("  replacements: %d exact, %d via subsumed variants\n",
 		rep.ExactReplacements, rep.VariantReplacements)
-	for name, n := range rep.PerCFU {
-		if n > 0 {
+	// Sorted so the report is deterministic run to run.
+	names := make([]string, 0, len(rep.PerCFU))
+	for name := range rep.PerCFU {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if n := rep.PerCFU[name]; n > 0 {
 			fmt.Printf("    %-44s x%d\n", name, n)
 		}
 	}
 	fmt.Printf("  speedup: %.3fx\n", rep.Speedup)
+
+	// The trace dump and summary both stay off stdout, which must remain
+	// byte-identical with telemetry on or off.
+	if tel != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		tel.WriteSummary(os.Stderr)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -35,7 +36,20 @@ func main() {
 	memcfu := flag.Bool("memcfu", false, "relaxed-memory CFU study (paper's future work)")
 	budget := flag.Float64("budget", 15, "cost point for the extension study")
 	jobs := flag.Int("j", 0, "parallel compile jobs (0 = one per CPU, 1 = serial); the report is identical at every setting")
+	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		log.Printf("pprof listening on %s", *pprofAddr)
+	}
+	var tel *telemetry.Registry
+	if *trace != "" {
+		tel = telemetry.New("iscstudy")
+	}
 
 	if *all {
 		*fig3, *fig89, *limit, *ablate, *multifunc, *unroll, *memcfu = true, true, true, true, true, true, true
@@ -46,6 +60,7 @@ func main() {
 	}
 	h := experiment.NewHarness()
 	h.Parallelism = *jobs
+	h.Telemetry = tel
 	start := time.Now()
 
 	if *fig3 {
@@ -142,4 +157,20 @@ func main() {
 	log.Printf("wall-clock %v for %v of compile jobs: parallel speedup %.2fx",
 		elapsed.Round(time.Millisecond), agg.Round(time.Millisecond),
 		float64(agg)/float64(elapsed))
+
+	// The trace dump and summary both stay off stdout, which must remain
+	// byte-identical with telemetry on or off.
+	if tel != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		tel.WriteSummary(os.Stderr)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -29,7 +30,20 @@ func main() {
 	maxBudget := flag.Int("maxbudget", 15, "largest area budget in adders")
 	verify := flag.Bool("verify", false, "verify every compile in the functional simulator")
 	jobs := flag.Int("j", 0, "parallel compile jobs (0 = one per CPU, 1 = serial); the report is identical at every setting")
+	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		log.Printf("pprof listening on %s", *pprofAddr)
+	}
+	var tel *telemetry.Registry
+	if *trace != "" {
+		tel = telemetry.New("iscsweep")
+	}
 
 	budgets := make([]float64, *maxBudget)
 	for i := range budgets {
@@ -44,6 +58,7 @@ func main() {
 	h := experiment.NewHarness()
 	h.Verify = *verify
 	h.Parallelism = *jobs
+	h.Telemetry = tel
 	start := time.Now()
 	for _, d := range domains {
 		native, err := h.Fig7Native(d, budgets)
@@ -71,4 +86,20 @@ func main() {
 	log.Printf("wall-clock %v for %v of compile jobs: parallel speedup %.2fx",
 		elapsed.Round(time.Millisecond), agg.Round(time.Millisecond),
 		float64(agg)/float64(elapsed))
+
+	// The trace dump and summary both stay off stdout, which must remain
+	// byte-identical with telemetry on or off.
+	if tel != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		tel.WriteSummary(os.Stderr)
+	}
 }

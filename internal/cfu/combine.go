@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hwlib"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Occurrence is one place in the program where a CFU's pattern appears.
@@ -70,12 +71,16 @@ type CombineOptions struct {
 	// execution (default 0: keep anything that saves at least one cycle
 	// per execution after rounding).
 	MinSavedPerExec float64
+	// Telemetry, when non-nil, receives the combine span and the
+	// candidate-in/CFU-out counters.
+	Telemetry *telemetry.Registry
 }
 
 // Combine groups the explorer's candidates into candidate CFUs, estimates
 // their value from profile weights, and records subsumption and wildcard
 // relationships.
 func Combine(res *explore.Result, lib *hwlib.Library, opts CombineOptions) []*CFU {
+	defer opts.Telemetry.StartSpan("combine")()
 	var cfus []*CFU
 	bySig := make(map[string][]*CFU)
 
@@ -121,6 +126,8 @@ func Combine(res *explore.Result, lib *hwlib.Library, opts CombineOptions) []*CF
 	for _, c := range cfus {
 		c.Value = estimateValue(c, nil)
 	}
+	opts.Telemetry.Add("combine.candidates.in", int64(len(res.Candidates)))
+	opts.Telemetry.Add("combine.cfus.out", int64(len(cfus)))
 	return cfus
 }
 

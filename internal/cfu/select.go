@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/hwlib"
+	"repro/internal/telemetry"
 )
 
 // SelectMode chooses the selection heuristic.
@@ -52,6 +53,9 @@ type SelectOptions struct {
 	Lib *hwlib.Library
 	// MaxVariants caps variant generation for selected CFUs (0 = 64).
 	MaxVariants int
+	// Telemetry, when non-nil, receives the select span and the
+	// considered/selected/round counters.
+	Telemetry *telemetry.Registry
 }
 
 // Selection is the result of the selection stage: CFUs in replacement
@@ -80,6 +84,7 @@ func Select(cfus []*CFU, opts SelectOptions) *Selection {
 	if opts.Lib == nil {
 		opts.Lib = hwlib.Default()
 	}
+	defer opts.Telemetry.StartSpan("select")()
 	switch opts.Mode {
 	case Knapsack:
 		return selectKnapsack(cfus, opts)
@@ -106,13 +111,18 @@ func selectGreedy(cfus []*CFU, opts SelectOptions) *Selection {
 		}
 		return a
 	}
+	// Telemetry totals are accumulated locally and flushed once so the
+	// hot scoring loop stays lock-free.
+	var rounds, considered int64
 	for {
+		rounds++
 		var best *CFU
 		var bestScore float64
 		for _, c := range cfus {
 			if picked[c.ID] || cost(c) > remaining+1e-9 {
 				continue
 			}
+			considered++
 			// The paper selects CFUs as if they had no subsumed subgraphs
 			// or wildcards: value counts only the CFU's own occurrences.
 			v := estimateValue(c, claimed)
@@ -165,6 +175,9 @@ func selectGreedy(cfus []*CFU, opts SelectOptions) *Selection {
 			}
 		}
 	}
+	opts.Telemetry.Add("select.rounds", rounds)
+	opts.Telemetry.Add("select.considered", considered)
+	opts.Telemetry.Add("select.selected", int64(len(sel.CFUs)))
 	return sel
 }
 
@@ -184,8 +197,12 @@ func selectKnapsack(cfus []*CFU, opts SelectOptions) *Selection {
 	w := make([]int, n)
 	v := make([]float64, n)
 	for i, c := range cfus {
-		w[i] = int(math.Ceil(c.Area / quantum))
-		if w[i] == 0 {
+		// The epsilon guards exactly-quantized areas: float division can
+		// land a hair above the integer (e.g. a computed 0.30000000000000004
+		// over 0.05 gives 6.000000000000001) and Ceil would then charge a
+		// whole extra quantum.
+		w[i] = int(math.Ceil(c.Area/quantum - 1e-9))
+		if w[i] <= 0 {
 			w[i] = 1
 		}
 		v[i] = c.Value
@@ -217,10 +234,13 @@ func selectKnapsack(cfus []*CFU, opts SelectOptions) *Selection {
 		rb := chosen[b].Value / math.Max(chosen[b].Area, 0.05)
 		return ra > rb
 	})
+	opts.Telemetry.Add("select.rounds", 1)
+	opts.Telemetry.Add("select.considered", int64(n))
+	opts.Telemetry.Add("select.selected", int64(len(chosen)))
 	sel := &Selection{CFUs: chosen}
 	claimed := make(map[opKey]bool)
 	for _, cf := range chosen {
-		ensureVariants(cf, 0)
+		ensureVariants(cf, opts.MaxVariants)
 		sel.TotalArea += cf.Area
 		used := make(map[opKey]bool)
 		for _, occ := range liveOccurrences(cf, claimed, used) {

@@ -1,0 +1,76 @@
+package cfu
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/hwlib"
+	"repro/internal/workloads"
+)
+
+// TestSelectionInvariants checks, on every seed benchmark, the two
+// invariants every selection mode must satisfy at any budget:
+//
+//  1. TotalArea never exceeds the budget (beyond float slack), and
+//  2. EstimatedSavings is never negative.
+//
+// It also pins the relationship the paper reports between the heuristics:
+// the knapsack DP, which optimizes the static value sum exactly, never
+// selects a set with a worse static value than greedy-ratio at the same
+// budget. That comparison runs with the hardware-sharing discounts
+// neutralized — the DP charges every CFU its full area, so greedy's
+// discounted costs would let it pack sets the DP's cost model rules out,
+// and the two heuristics would be solving different problems.
+//
+// Each (benchmark, budget, mode) triple gets a fresh Combine so lazy
+// variant generation and relationship discovery in one run cannot leak
+// into the next.
+func TestSelectionInvariants(t *testing.T) {
+	lib := hwlib.Default()
+	budgets := []float64{1, 5, 15}
+	if testing.Short() {
+		budgets = []float64{5}
+	}
+	staticValue := func(sel *Selection) float64 {
+		var v float64
+		for _, c := range sel.CFUs {
+			v += c.Value
+		}
+		return v
+	}
+	for _, name := range workloads.Names() {
+		b, err := workloads.Load(name, "")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := explore.Explore(b.Program, explore.DefaultConfig(lib))
+		for _, budget := range budgets {
+			for _, mode := range []SelectMode{GreedyRatio, GreedyValue, Knapsack} {
+				cfus := Combine(res, lib, CombineOptions{})
+				sel := Select(cfus, SelectOptions{Budget: budget, Mode: mode})
+				if sel.TotalArea > budget+1e-6 {
+					t.Errorf("%s budget %v %v: TotalArea %v exceeds budget",
+						name, budget, mode, sel.TotalArea)
+				}
+				if sel.EstimatedSavings < 0 {
+					t.Errorf("%s budget %v %v: negative EstimatedSavings %v",
+						name, budget, mode, sel.EstimatedSavings)
+				}
+			}
+			// Knapsack vs greedy-ratio on the undiscounted problem.
+			values := make(map[SelectMode]float64)
+			for _, mode := range []SelectMode{GreedyRatio, Knapsack} {
+				cfus := Combine(res, lib, CombineOptions{})
+				sel := Select(cfus, SelectOptions{
+					Budget: budget, Mode: mode,
+					SubsumedDiscount: 1, WildcardDiscount: 1,
+				})
+				values[mode] = staticValue(sel)
+			}
+			if values[Knapsack] < values[GreedyRatio]-1e-6 {
+				t.Errorf("%s budget %v: knapsack static value %v below greedy-ratio %v",
+					name, budget, values[Knapsack], values[GreedyRatio])
+			}
+		}
+	}
+}

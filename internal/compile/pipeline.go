@@ -10,6 +10,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mdes"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Options configures compilation against an extended machine.
@@ -31,6 +32,9 @@ type Options struct {
 	// cycle counts then use the optimized program, so the reported speedup
 	// still isolates the CFU effect.
 	Optimize bool
+	// Telemetry, when non-nil, receives the compile/match/schedule spans
+	// and the match-and-replace counters.
+	Telemetry *telemetry.Registry
 }
 
 // BlockReport is per-block accounting.
@@ -76,6 +80,7 @@ func Compile(p *ir.Program, m *mdes.MDES, opts Options) (*ir.Program, *Report, e
 	if numRegs == 0 {
 		numRegs = mach.IntRegs
 	}
+	defer opts.Telemetry.StartSpan("compile")()
 
 	if opts.Optimize {
 		p = p.Clone()
@@ -96,6 +101,7 @@ func Compile(p *ir.Program, m *mdes.MDES, opts Options) (*ir.Program, *Report, e
 	}
 
 	classOf := func(c ir.Opcode) uint8 { return uint8(lib.ClassOf(c)) }
+	endMatch := opts.Telemetry.StartSpan("compile.match")
 	for _, b := range out.Blocks {
 		exact, variant, err := customizeBlock(b, m, opMatch, classOf, opts.UseVariants, rep.PerCFU)
 		if err != nil {
@@ -104,8 +110,14 @@ func Compile(p *ir.Program, m *mdes.MDES, opts Options) (*ir.Program, *Report, e
 		rep.ExactReplacements += exact
 		rep.VariantReplacements += variant
 	}
+	endMatch()
+	opts.Telemetry.Add("compile.replacements.exact", int64(rep.ExactReplacements))
+	opts.Telemetry.Add("compile.replacements.variant", int64(rep.VariantReplacements))
+	opts.Telemetry.Add("compile.blocks", int64(len(out.Blocks)))
 
 	// Cycle accounting: schedule baseline and customized programs.
+	endSched := opts.Telemetry.StartSpan("compile.schedule")
+	defer endSched()
 	for bi, b := range p.Blocks {
 		baseSched, _, err := sched.ScheduleWithRegAlloc(b, mach, numRegs)
 		if err != nil {

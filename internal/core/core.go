@@ -15,6 +15,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mdes"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the end-to-end flow. The zero value uses the
@@ -48,6 +49,9 @@ type Config struct {
 	Verify bool
 	// Fanout overrides the exploration fanout policy (nil = default).
 	Fanout explore.FanoutPolicy
+	// Telemetry, when non-nil, receives per-stage spans and counters from
+	// every stage of the flow (explore, combine, select, compile, sim).
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -112,18 +116,20 @@ func GenerateMDES(p *ir.Program, cfg Config) (*mdes.MDES, error) {
 func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
 	ecfg := explore.DefaultConfig(cfg.Lib)
 	ecfg.Constraints = cfg.Constraints
+	ecfg.Telemetry = cfg.Telemetry
 	if cfg.Fanout != nil {
 		ecfg.Fanout = cfg.Fanout
 	}
 	res := explore.Explore(p, ecfg)
-	cands := cfu.Combine(res, cfg.Lib, cfu.CombineOptions{})
+	cands := cfu.Combine(res, cfg.Lib, cfu.CombineOptions{Telemetry: cfg.Telemetry})
 	if cfg.MultiFunction {
 		cands = cfu.BuildMultiFunction(cands, cfg.Lib, 0)
 	}
 	sel := cfu.Select(cands, cfu.SelectOptions{
-		Budget: cfg.Budget,
-		Mode:   cfg.SelectMode,
-		Lib:    cfg.Lib,
+		Budget:    cfg.Budget,
+		Mode:      cfg.SelectMode,
+		Lib:       cfg.Lib,
+		Telemetry: cfg.Telemetry,
 	})
 	return mdes.FromSelection(p.Name, cfg.Budget, sel), cands, nil
 }
@@ -138,15 +144,19 @@ func CompileWith(p *ir.Program, m *mdes.MDES, cfg Config) (*ir.Program, *compile
 		UseVariants:      cfg.UseVariants,
 		UseOpcodeClasses: cfg.UseOpcodeClasses,
 		Optimize:         cfg.Optimize,
+		Telemetry:        cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	if cfg.Verify {
+		endSim := cfg.Telemetry.StartSpan("sim.verify")
+		defer endSim()
 		for i := range p.Blocks {
 			if err := sim.Equivalent(p.Blocks[i], out.Blocks[i], 12, uint32(17*i+3)); err != nil {
 				return nil, nil, fmt.Errorf("core: verification of block %s: %w", p.Blocks[i].Name, err)
 			}
+			cfg.Telemetry.Add("sim.blocks.verified", 1)
 		}
 	}
 	return out, rep, nil

@@ -20,6 +20,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mdes"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -53,6 +54,12 @@ type Harness struct {
 	// Set configuration fields before the first run: the memo caches key
 	// on benchmark name and budget, not on Lib/SelectMode/ExploreConfig.
 	Parallelism int
+	// Telemetry, when non-nil, receives per-stage spans, memo-cache
+	// hit/miss counters and worker-pool utilization from every harness
+	// run. All aggregates commute, so the recorded totals are identical
+	// at every Parallelism setting (timings aside). nil disables
+	// instrumentation at near-zero cost.
+	Telemetry *telemetry.Registry
 
 	mu       sync.Mutex
 	benches  map[string]*memoCell[*workloads.Benchmark]
@@ -84,15 +91,17 @@ func NewHarness() *Harness {
 
 // Benchmark returns (and caches) the named benchmark.
 func (h *Harness) Benchmark(name string) (*workloads.Benchmark, error) {
-	return memoize(&h.mu, h.benches, name, func() (*workloads.Benchmark, error) {
+	v, hit, err := memoize(&h.mu, h.benches, name, func() (*workloads.Benchmark, error) {
 		return workloads.ByName(name)
 	})
+	h.Telemetry.AddHitMiss("memo.benchmark", hit)
+	return v, err
 }
 
 // Candidates runs exploration + combination for the named benchmark once,
 // no matter how many workers ask for it concurrently.
 func (h *Harness) Candidates(name string) ([]*cfu.CFU, error) {
-	return memoize(&h.mu, h.cands, name, func() ([]*cfu.CFU, error) {
+	v, hit, err := memoize(&h.mu, h.cands, name, func() ([]*cfu.CFU, error) {
 		b, err := h.Benchmark(name)
 		if err != nil {
 			return nil, err
@@ -101,9 +110,12 @@ func (h *Harness) Candidates(name string) ([]*cfu.CFU, error) {
 		if h.ExploreConfig != nil {
 			cfg = *h.ExploreConfig
 		}
+		cfg.Telemetry = h.Telemetry
 		res := explore.Explore(b.Program, cfg)
-		return cfu.Combine(res, h.Lib, cfu.CombineOptions{}), nil
+		return cfu.Combine(res, h.Lib, cfu.CombineOptions{Telemetry: h.Telemetry}), nil
 	})
+	h.Telemetry.AddHitMiss("memo.candidates", hit)
+	return v, err
 }
 
 // MDESAt selects CFUs for the named benchmark at the given area budget.
@@ -111,17 +123,19 @@ func (h *Harness) Candidates(name string) ([]*cfu.CFU, error) {
 // itself is serialized per benchmark because selection lazily mutates the
 // shared candidate list.
 func (h *Harness) MDESAt(name string, budget float64) (*mdes.MDES, error) {
-	return memoize(&h.mu, h.mdess, mdesKey{name, budget}, func() (*mdes.MDES, error) {
+	v, hit, err := memoize(&h.mu, h.mdess, mdesKey{name, budget}, func() (*mdes.MDES, error) {
 		cands, err := h.Candidates(name)
 		if err != nil {
 			return nil, err
 		}
 		l := h.selLock(name)
 		l.Lock()
-		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode})
+		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Telemetry: h.Telemetry})
 		l.Unlock()
 		return mdes.FromSelection(name, budget, sel), nil
 	})
+	h.Telemetry.AddHitMiss("memo.mdesat", hit)
+	return v, err
 }
 
 // CompileOn compiles application app against the CFUs generated for
@@ -142,16 +156,22 @@ func (h *Harness) CompileOn(app, cfuSource string, budget float64, opts compile.
 	if opts.Lib == nil {
 		opts.Lib = h.Lib
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = h.Telemetry
+	}
 	out, rep, err := compile.Compile(b.Program, m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: compile %s on %s: %w", app, cfuSource, err)
 	}
 	if h.Verify {
+		endSim := h.Telemetry.StartSpan("sim.verify")
+		defer endSim()
 		for i := range b.Program.Blocks {
 			if err := sim.Equivalent(b.Program.Blocks[i], out.Blocks[i], 10, uint32(31*i+7)); err != nil {
 				return nil, fmt.Errorf("experiment: %s on %s, block %s: %w",
 					app, cfuSource, b.Program.Blocks[i].Name, err)
 			}
+			h.Telemetry.Add("sim.blocks.verified", 1)
 		}
 	}
 	return rep, nil
@@ -533,7 +553,7 @@ func (h *Harness) MultiFunctionStudy(domain string, budget float64) ([]*MultiFun
 	out := make([]*MultiFunctionResult, len(apps)*len(apps))
 	err = h.parallelFor(len(out), func(j int) error {
 		src, app := apps[j/len(apps)], apps[j%len(apps)]
-		ms, err := memoize(&multiMu, multiCells, src, func() (multiSel, error) {
+		ms, _, err := memoize(&multiMu, multiCells, src, func() (multiSel, error) {
 			m, merged, err := h.multiFuncMDES(src, budget)
 			return multiSel{m, merged}, err
 		})

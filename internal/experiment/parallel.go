@@ -22,14 +22,37 @@ func (h *Harness) workers() int {
 // the serial loop no matter how the scheduler interleaves jobs. The
 // returned error is the lowest-index failure, again matching what a
 // serial loop would report first.
+//
+// When telemetry is enabled the pool reports its own utilization: busy
+// time is the sum of per-job wall times, capacity is workers x the fan-out
+// interval's wall time, and busy/capacity is the fraction of worker-time
+// actually spent in jobs (the gap is memo-cache waits and scheduler
+// stalls — why -j 8 can achieve less than 8x).
 func (h *Harness) parallelFor(n int, fn func(i int) error) error {
 	w := h.workers()
 	if w > n {
 		w = n
 	}
+	tel := h.Telemetry
+	job := fn
+	var poolStart time.Time
+	if tel.Enabled() {
+		poolStart = time.Now()
+		tel.Add("pool.jobs", int64(n))
+		tel.MaxGauge("pool.workers", float64(w))
+		job = func(i int) error {
+			t0 := time.Now()
+			err := fn(i)
+			tel.Add("pool.busy_ns", int64(time.Since(t0)))
+			return err
+		}
+		defer func() {
+			tel.Add("pool.capacity_ns", int64(w)*int64(time.Since(poolStart)))
+		}()
+	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := job(i); err != nil {
 				return err
 			}
 		}
@@ -47,7 +70,7 @@ func (h *Harness) parallelFor(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = job(i)
 			}
 		}()
 	}
@@ -71,17 +94,20 @@ type memoCell[V any] struct {
 }
 
 // memoize returns the cached value for key, computing it via f exactly
-// once across all goroutines. mu guards only the map lookup.
-func memoize[K comparable, V any](mu *sync.Mutex, m map[K]*memoCell[V], key K, f func() (V, error)) (V, error) {
+// once across all goroutines. mu guards only the map lookup. The second
+// return reports whether the cell already existed (a cache hit — including
+// co-waiting on a computation another goroutine started, since the cache
+// still prevented a recompute).
+func memoize[K comparable, V any](mu *sync.Mutex, m map[K]*memoCell[V], key K, f func() (V, error)) (V, bool, error) {
 	mu.Lock()
-	c, ok := m[key]
-	if !ok {
+	c, hit := m[key]
+	if !hit {
 		c = &memoCell[V]{}
 		m[key] = c
 	}
 	mu.Unlock()
 	c.once.Do(func() { c.val, c.err = f() })
-	return c.val, c.err
+	return c.val, hit, c.err
 }
 
 // selLock returns the per-application mutex serializing cfu.Select (and

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/hwlib"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Constraints are the externally supplied design limits on any single CFU.
@@ -116,6 +117,9 @@ type Config struct {
 	// estimated merit reaches this fraction of the best merit seen so far
 	// are kept for further growth. Directions are then not pruned.
 	CandidatePrune float64
+	// Telemetry, when non-nil, receives the exploration span and the
+	// examined/pruned/recorded counters.
+	Telemetry *telemetry.Registry
 }
 
 // GuideWeights are the per-category points of the guide function.
@@ -167,10 +171,17 @@ type Result struct {
 
 // Explore runs the space explorer over every block of p.
 func Explore(p *ir.Program, cfg Config) *Result {
+	defer cfg.Telemetry.StartSpan("explore")()
 	res := &Result{Stats: Stats{BySize: make(map[int]int)}}
 	for _, b := range p.Blocks {
 		exploreBlock(b, cfg, res)
 	}
+	// Candidate counts before/after guide pruning: every examined subgraph
+	// plus every pruned direction is a candidate the naive search would
+	// have visited; recorded is what survives the CFU constraints.
+	cfg.Telemetry.Add("explore.subgraphs.examined", int64(res.Stats.Examined))
+	cfg.Telemetry.Add("explore.directions.pruned", int64(res.Stats.PrunedDirections))
+	cfg.Telemetry.Add("explore.candidates.recorded", int64(res.Stats.Recorded))
 	return res
 }
 

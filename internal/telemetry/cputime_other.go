@@ -1,0 +1,8 @@
+//go:build !unix
+
+package telemetry
+
+import "time"
+
+// processCPU is unavailable off unix; spans then report zero CPU time.
+func processCPU() time.Duration { return 0 }

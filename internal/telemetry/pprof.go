@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+)
+
+// ServePprof starts an HTTP server exposing net/http/pprof on addr (e.g.
+// "localhost:6060") in a background goroutine. It returns after the
+// listener is bound so callers can fail fast on a bad address; the -pprof
+// flag of the long-running CLIs is wired through here.
+func ServePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		// DefaultServeMux carries the pprof handlers registered on import.
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Trace is the cycle-accurate record of one block execution.
@@ -43,8 +44,14 @@ func (t *Trace) Utilization(m *machine.Desc, k machine.SlotKind) float64 {
 // state st. It returns an error if the schedule violates any machine
 // constraint: slot overuse, an operand consumed before its producer's
 // latency has elapsed, or memory operations issued out of dependence
-// order.
-func Execute(b *ir.Block, s *sched.Schedule, m *machine.Desc, st *sim.State) (*Trace, error) {
+// order. An optional telemetry registry receives the execution span and
+// the cycle/issue counters.
+func Execute(b *ir.Block, s *sched.Schedule, m *machine.Desc, st *sim.State, tels ...*telemetry.Registry) (*Trace, error) {
+	var tel *telemetry.Registry
+	if len(tels) > 0 {
+		tel = tels[0]
+	}
+	defer tel.StartSpan("vliwsim.execute")()
 	if len(s.Cycle) != len(b.Ops) {
 		return nil, fmt.Errorf("vliwsim: schedule covers %d ops, block has %d", len(s.Cycle), len(b.Ops))
 	}
@@ -172,6 +179,11 @@ func Execute(b *ir.Block, s *sched.Schedule, m *machine.Desc, st *sim.State) (*T
 	for r, v := range pendingRegs {
 		st.Regs[r] = v
 	}
+	tel.Add("vliwsim.cycles", int64(tr.Cycles))
+	tel.Add("vliwsim.idle_cycles", int64(tr.IdleCycles))
+	for _, n := range tr.IssuedPerSlot {
+		tel.Add("vliwsim.issued", int64(n))
+	}
 	return tr, nil
 }
 
@@ -220,8 +232,12 @@ func trunc(s string, n int) string {
 // per-block traces. It cross-checks each trace length against the
 // scheduler's analytic length and fails on any mismatch, so the speedups
 // reported elsewhere are backed by executed cycles, not just schedule
-// arithmetic.
-func ProgramCycles(p *ir.Program, m *machine.Desc, numRegs int, seed uint32) (float64, []*Trace, error) {
+// arithmetic. An optional telemetry registry is forwarded to Execute.
+func ProgramCycles(p *ir.Program, m *machine.Desc, numRegs int, seed uint32, tels ...*telemetry.Registry) (float64, []*Trace, error) {
+	var tel *telemetry.Registry
+	if len(tels) > 0 {
+		tel = tels[0]
+	}
 	total := 0.0
 	var traces []*Trace
 	for bi, b := range p.Blocks {
@@ -231,7 +247,7 @@ func ProgramCycles(p *ir.Program, m *machine.Desc, numRegs int, seed uint32) (fl
 		}
 		s := sched.List(nb, m)
 		st := sim.NewState(seed + uint32(bi))
-		tr, err := Execute(nb, s, m, st)
+		tr, err := Execute(nb, s, m, st, tel)
 		if err != nil {
 			return 0, nil, fmt.Errorf("vliwsim: block %s: %w", b.Name, err)
 		}
