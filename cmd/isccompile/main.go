@@ -73,6 +73,9 @@ func main() {
 	}
 
 	fmt.Printf("%s compiled on CFUs of %s (budget %.0f adders)\n", b.Name, m.Source, m.Budget)
+	if rep.Truncated {
+		fmt.Println("  note: MDES came from a truncated (anytime) exploration; speedup is a lower bound")
+	}
 	fmt.Printf("  %-14s %10s %10s %6s %8s\n", "block", "base cyc", "cfu cyc", "repl", "weight")
 	for _, blk := range rep.Blocks {
 		fmt.Printf("  %-14s %10d %10d %6d %8.0f\n",

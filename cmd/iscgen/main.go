@@ -31,6 +31,8 @@ func main() {
 	out := flag.String("o", "", "output MDES path (default stdout)")
 	maxIn := flag.Int("maxin", 5, "max CFU input ports")
 	maxOut := flag.Int("maxout", 3, "max CFU output ports")
+	deadline := flag.Duration("deadline", 0, "exploration wall-clock budget (0 = none); on expiry the best-so-far candidates are selected and the MDES is tagged truncated")
+	maxCands := flag.Int("max-candidates", 0, "cap on candidate subgraphs recorded (0 = unlimited); hitting it tags the MDES truncated")
 	hwPath := flag.String("hwlib", "", "JSON hardware library (default: built-in 0.18u calibration)")
 	dumpHW := flag.Bool("dumphwlib", false, "print the built-in hardware library as JSON and exit")
 	verilog := flag.String("verilog", "", "also emit the selected CFUs as Verilog to this path")
@@ -54,6 +56,8 @@ func main() {
 	cfg := core.Config{Budget: *budget}
 	cfg.Constraints.MaxInputs = *maxIn
 	cfg.Constraints.MaxOutputs = *maxOut
+	cfg.ExploreDeadline = *deadline
+	cfg.MaxCandidates = *maxCands
 	cfg.Lib, err = hwlib.LoadOrDefault(openFile, *hwPath)
 	if err != nil {
 		log.Fatal(err)
@@ -76,6 +80,9 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "%s (%s): %d CFUs, %.2f adders of %.0f budget\n",
 		b.Name, b.Domain, len(m.CFUs), m.TotalArea, m.Budget)
+	if m.Truncated {
+		fmt.Fprintln(os.Stderr, "  note: exploration budget expired; CFUs were selected from the best-so-far candidate pool")
+	}
 	for _, c := range m.CFUs {
 		fmt.Fprintf(os.Stderr, "  #%-2d %-40s area %6.2f  lat %d  est value %.0f  variants %d\n",
 			c.Priority, c.Name, c.Area, c.Latency, c.EstimatedValue, len(c.Variants))

@@ -35,6 +35,8 @@ func main() {
 	unroll := flag.Bool("unroll", false, "loop-unrolling study")
 	memcfu := flag.Bool("memcfu", false, "relaxed-memory CFU study (paper's future work)")
 	budget := flag.Float64("budget", 15, "cost point for the extension study")
+	deadline := flag.Duration("deadline", 0, "per-benchmark exploration wall-clock budget (0 = none); on expiry the best-so-far candidates are used")
+	maxCands := flag.Int("max-candidates", 0, "cap on candidate subgraphs recorded per benchmark (0 = unlimited)")
 	jobs := flag.Int("j", 0, "parallel compile jobs (0 = one per CPU, 1 = serial); the report is identical at every setting")
 	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -61,25 +63,37 @@ func main() {
 	h := experiment.NewHarness()
 	h.Parallelism = *jobs
 	h.Telemetry = tel
+	h.ExploreDeadline = *deadline
+	h.MaxCandidates = *maxCands
 	start := time.Now()
+
+	// A failing benchmark no longer aborts a study: its rows are skipped by
+	// the renderers, a failure line goes to stderr, and the process exits
+	// nonzero only after every requested study has run.
+	failed := false
+	report := func(study string, err error) {
+		if err != nil {
+			failed = true
+			log.Printf("FAILED %s: %v", study, err)
+		}
+	}
 
 	if *fig3 {
 		fmt.Println(experiment.Underline("Figure 3: design space exploration"))
 		st, err := h.Fig3("blowfish", 0)
 		if err != nil {
-			log.Fatal(err)
+			report("fig3", err)
+		} else {
+			experiment.RenderFig3(os.Stdout, st)
+			fmt.Println()
 		}
-		experiment.RenderFig3(os.Stdout, st)
-		fmt.Println()
 	}
 
 	if *fig89 {
 		fmt.Println(experiment.Underline("Figures 8 and 9: CFU extensions at the 15-adder point"))
 		for _, d := range workloads.DomainNames() {
 			rows, err := h.ExtensionStudy(d, *budget)
-			if err != nil {
-				log.Fatal(err)
-			}
+			report("fig89 "+d, err)
 			experiment.RenderExtensions(os.Stdout, "Domain: "+d, rows)
 			fmt.Println()
 		}
@@ -88,9 +102,7 @@ func main() {
 	if *limit {
 		fmt.Println(experiment.Underline("Limit study"))
 		rows, err := h.LimitStudy(nil)
-		if err != nil {
-			log.Fatal(err)
-		}
+		report("limit", err)
 		experiment.RenderLimit(os.Stdout, rows)
 		fmt.Println()
 	}
@@ -99,9 +111,7 @@ func main() {
 		fmt.Println(experiment.Underline("Multi-function CFUs (§6 future work)"))
 		for _, d := range workloads.DomainNames() {
 			rows, err := h.MultiFunctionStudy(d, *budget)
-			if err != nil {
-				log.Fatal(err)
-			}
+			report("multifunc "+d, err)
 			experiment.RenderMultiFunction(os.Stdout, *budget, rows)
 			fmt.Println()
 		}
@@ -111,10 +121,12 @@ func main() {
 		fmt.Println(experiment.Underline("Relaxed memory restriction (§6 future work)"))
 		rows, err := h.MemoryCFUStudy(nil, *budget)
 		if err != nil {
-			log.Fatal(err)
+			report("memcfu", err)
 		}
-		experiment.RenderMemoryCFU(os.Stdout, *budget, rows)
-		fmt.Println()
+		if rows != nil {
+			experiment.RenderMemoryCFU(os.Stdout, *budget, rows)
+			fmt.Println()
+		}
 	}
 
 	if *unroll {
@@ -122,7 +134,8 @@ func main() {
 		for _, app := range []string{"gsmdecode", "url", "crc"} {
 			rows, err := h.UnrollStudy(app, []int{1, 2, 4, 8}, *budget)
 			if err != nil {
-				log.Fatal(err)
+				report("unroll "+app, err)
+				continue
 			}
 			experiment.RenderUnroll(os.Stdout, rows)
 			fmt.Println()
@@ -133,9 +146,7 @@ func main() {
 		fmt.Println(experiment.Underline("Ablation: CFU selection heuristics (§3.4)"))
 		for _, app := range []string{"blowfish", "rijndael", "sha"} {
 			pts, err := h.SelectionAblation(app, experiment.Budgets1to15())
-			if err != nil {
-				log.Fatal(err)
-			}
+			report("ablate "+app, err)
 			experiment.RenderAblation(os.Stdout, app, pts)
 			fmt.Println()
 		}
@@ -143,7 +154,8 @@ func main() {
 		for _, app := range []string{"blowfish", "sha"} {
 			rows, err := h.GuideWeightAblation(app)
 			if err != nil {
-				log.Fatal(err)
+				report("guide "+app, err)
+				continue
 			}
 			experiment.RenderGuideAblation(os.Stdout, app, rows)
 			fmt.Println()
@@ -172,5 +184,8 @@ func main() {
 			log.Fatal(err)
 		}
 		tel.WriteSummary(os.Stderr)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -29,6 +29,8 @@ func main() {
 	cross := flag.Bool("cross", false, "also produce the cross-compilation curves")
 	maxBudget := flag.Int("maxbudget", 15, "largest area budget in adders")
 	verify := flag.Bool("verify", false, "verify every compile in the functional simulator")
+	deadline := flag.Duration("deadline", 0, "per-benchmark exploration wall-clock budget (0 = none); on expiry the best-so-far candidates are used and curves are marked [truncated]")
+	maxCands := flag.Int("max-candidates", 0, "cap on candidate subgraphs recorded per benchmark (0 = unlimited); hitting it marks curves [truncated]")
 	jobs := flag.Int("j", 0, "parallel compile jobs (0 = one per CPU, 1 = serial); the report is identical at every setting")
 	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -59,23 +61,40 @@ func main() {
 	h.Verify = *verify
 	h.Parallelism = *jobs
 	h.Telemetry = tel
+	h.ExploreDeadline = *deadline
+	h.MaxCandidates = *maxCands
 	start := time.Now()
+
+	// A failing benchmark no longer aborts the sweep: its curve is skipped,
+	// a failure line goes to stderr, every other curve renders normally, and
+	// the process exits nonzero only after all domains have run.
+	failed := false
+	reportFailures := func(sweeps []*experiment.SweepResult) {
+		for _, s := range sweeps {
+			if s.Err != nil {
+				failed = true
+				log.Printf("FAILED %s: %v", s.Label(), s.Err)
+			}
+		}
+	}
 	for _, d := range domains {
 		native, err := h.Fig7Native(d, budgets)
-		if err != nil {
-			log.Fatal(err)
+		if native == nil {
+			log.Fatal(err) // configuration error (unknown domain), not a benchmark failure
 		}
 		title := fmt.Sprintf("Figure 7 (native): %s speedup vs CFU cost", d)
 		experiment.RenderSweeps(os.Stdout, title, native)
 		fmt.Println()
+		reportFailures(native)
 		if *cross {
 			crossRes, err := h.Fig7Cross(d, budgets)
-			if err != nil {
+			if crossRes == nil {
 				log.Fatal(err)
 			}
 			title = fmt.Sprintf("Figure 7 (cross): %s apps on each other's CFUs", d)
 			experiment.RenderSweeps(os.Stdout, title, crossRes)
 			fmt.Println()
+			reportFailures(crossRes)
 		}
 	}
 	// Timing goes to stderr so stdout stays byte-identical across -j.
@@ -101,5 +120,8 @@ func main() {
 			log.Fatal(err)
 		}
 		tel.WriteSummary(os.Stderr)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,44 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// FuzzIscasm feeds arbitrary text to the assembly parser. The contract is
+// error-not-panic: any input may be rejected, none may crash, and anything
+// accepted must also pass ir.Validate — the parser is a trust boundary for
+// -asm files handed to the CLIs.
+func FuzzIscasm(f *testing.F) {
+	seeds := []string{
+		"",
+		"program p\nblock b weight 1\n  %0 = add r1, #2 -> r2\n",
+		"program example\nblock hot weight 5000\n  %0 = rotl r1, #5\n  %1 = xor %0, r2 -> r3\n  %2 = and %1, #0xffff -> r4\n",
+		"program p\nblock b weight 1\n  %0 = load r1\n  %1 = store r1, %0\n  %2 = ret\n",
+		"; comment only\n",
+		"program p\nblock b weight 1\n  %0 = add %1, %2\n", // forward op reference
+		"program p\nblock b weight -3\n",
+		"program p\nblock b weight 1\n  %0 = add r1, #0xzz\n",
+		"program p\nblock b weight 1\n  %0 = bogusop r1, r2\n",
+		"program p\nprogram q\nblock b weight 1\n",
+		"block orphan weight 1\n  %0 = add r1, r2\n",
+		"program p\nblock b weight 1\n  %9999999999999999999 = add r1, r2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("Parse returned nil program with nil error")
+		}
+		if verr := ir.Validate(p); verr != nil {
+			t.Fatalf("parser accepted a program that fails validation: %v\ninput:\n%s", verr, src)
+		}
+	})
+}

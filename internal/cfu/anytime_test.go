@@ -1,0 +1,62 @@
+package cfu
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/hwlib"
+)
+
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestCombinePartialCancel proves combination under a dead context returns
+// a truncated (possibly empty) but internally consistent pool instead of
+// hanging or aborting.
+func TestCombinePartialCancel(t *testing.T) {
+	res := exploreTwin(t)
+	cfus, truncated := CombinePartial(res, hwlib.Default(), CombineOptions{Ctx: canceledCtx()})
+	if !truncated {
+		t.Fatal("canceled combine not reported truncated")
+	}
+	for _, c := range cfus {
+		if len(c.Occurrences) == 0 {
+			t.Fatalf("truncated pool holds a CFU with no occurrences: %s", c.Name())
+		}
+	}
+	// An unbudgeted call over the same result is unaffected.
+	full, trunc2 := CombinePartial(res, hwlib.Default(), CombineOptions{})
+	if trunc2 || len(full) == 0 {
+		t.Fatalf("unbudgeted combine: truncated=%v cfus=%d", trunc2, len(full))
+	}
+}
+
+// TestSelectCancelBudgetRespecting proves both selection heuristics honor
+// cancellation by truncating, and the truncated pick still respects the
+// area budget.
+func TestSelectCancelBudgetRespecting(t *testing.T) {
+	for _, mode := range []SelectMode{GreedyRatio, Knapsack} {
+		res := exploreTwin(t)
+		cfus := Combine(res, hwlib.Default(), CombineOptions{})
+		const budget = 3.0
+		sel := Select(cfus, SelectOptions{Budget: budget, Mode: mode, Ctx: canceledCtx()})
+		if !sel.Truncated {
+			t.Errorf("%v: canceled selection not marked Truncated", mode)
+		}
+		if sel.TotalArea > budget+1e-9 {
+			t.Errorf("%v: truncated selection overspent: %.2f > %.2f", mode, sel.TotalArea, budget)
+		}
+		// Without a context the same pool selects normally.
+		full := Select(Combine(exploreTwin(t), hwlib.Default(), CombineOptions{}),
+			SelectOptions{Budget: budget, Mode: mode})
+		if full.Truncated {
+			t.Errorf("%v: unbudgeted selection marked Truncated", mode)
+		}
+		if len(full.CFUs) == 0 {
+			t.Errorf("%v: unbudgeted selection picked nothing", mode)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package cfu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -74,17 +75,41 @@ type CombineOptions struct {
 	// Telemetry, when non-nil, receives the combine span and the
 	// candidate-in/CFU-out counters.
 	Telemetry *telemetry.Registry
+	// Ctx, when non-nil, lets the caller cancel combination; the stage is
+	// anytime and returns the CFUs grouped so far (CombinePartial reports
+	// the truncation).
+	Ctx context.Context
 }
 
 // Combine groups the explorer's candidates into candidate CFUs, estimates
 // their value from profile weights, and records subsumption and wildcard
 // relationships.
 func Combine(res *explore.Result, lib *hwlib.Library, opts CombineOptions) []*CFU {
+	cfus, _ := CombinePartial(res, lib, opts)
+	return cfus
+}
+
+// CombinePartial is Combine with the anytime contract surfaced: when
+// opts.Ctx is canceled mid-run it stops grouping, finishes value
+// estimation for the CFUs built so far, and returns truncated=true. The
+// partial CFU list is internally consistent (every returned CFU carries
+// only the occurrences already folded in), just not exhaustive.
+func CombinePartial(res *explore.Result, lib *hwlib.Library, opts CombineOptions) (out []*CFU, truncated bool) {
 	defer opts.Telemetry.StartSpan("combine")()
 	var cfus []*CFU
 	bySig := make(map[string][]*CFU)
 
-	for _, cand := range res.Candidates {
+	for ci, cand := range res.Candidates {
+		if opts.Ctx != nil && ci%64 == 0 {
+			select {
+			case <-opts.Ctx.Done():
+				truncated = true
+			default:
+			}
+			if truncated {
+				break
+			}
+		}
 		shape, nodeToOp, _ := graph.FromOpSet(cand.DFG, cand.Set)
 		occ := Occurrence{
 			Block: cand.Block, DFG: cand.DFG, Set: cand.Set,
@@ -128,7 +153,10 @@ func Combine(res *explore.Result, lib *hwlib.Library, opts CombineOptions) []*CF
 	}
 	opts.Telemetry.Add("combine.candidates.in", int64(len(res.Candidates)))
 	opts.Telemetry.Add("combine.cfus.out", int64(len(cfus)))
-	return cfus
+	if truncated {
+		opts.Telemetry.Add("combine.truncated", 1)
+	}
+	return cfus, truncated
 }
 
 // AnalyzeRelationships generates subsumed variants and records the

@@ -1,6 +1,7 @@
 package cfu
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -56,6 +57,26 @@ type SelectOptions struct {
 	// Telemetry, when non-nil, receives the select span and the
 	// considered/selected/round counters.
 	Telemetry *telemetry.Registry
+	// Ctx, when non-nil, lets the caller cancel selection; the stage is
+	// anytime: the greedy loop stops after the current round and the
+	// knapsack DP truncates its item set, so the returned Selection is
+	// always budget-respecting, just possibly not exhaustive. Truncation is
+	// reported via Selection.Truncated.
+	Ctx context.Context
+}
+
+// canceled reports whether the caller's context has expired, without
+// blocking.
+func (o *SelectOptions) canceled() bool {
+	if o.Ctx == nil {
+		return false
+	}
+	select {
+	case <-o.Ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // Selection is the result of the selection stage: CFUs in replacement
@@ -66,6 +87,9 @@ type Selection struct {
 	TotalArea float64
 	// EstimatedSavings is the selector's own weighted-cycle estimate.
 	EstimatedSavings float64
+	// Truncated reports that the caller's context expired mid-selection;
+	// the CFUs picked before the cutoff still respect the budget.
+	Truncated bool
 }
 
 // Select spends the area budget on candidate CFUs.
@@ -115,6 +139,10 @@ func selectGreedy(cfus []*CFU, opts SelectOptions) *Selection {
 	// hot scoring loop stays lock-free.
 	var rounds, considered int64
 	for {
+		if opts.canceled() {
+			sel.Truncated = true
+			break
+		}
 		rounds++
 		var best *CFU
 		var bestScore float64
@@ -210,8 +238,16 @@ func selectKnapsack(cfus []*CFU, opts SelectOptions) *Selection {
 	// dp[cap] = best value; keep[i][cap] via bitset rows.
 	dp := make([]float64, capacity+1)
 	keep := make([][]bool, n)
+	truncated := false
 	for i := 0; i < n; i++ {
 		keep[i] = make([]bool, capacity+1)
+		// An unfilled keep row simply excludes the item, so stopping the DP
+		// mid-table still reconstructs a valid (budget-respecting) subset of
+		// the items already processed.
+		if opts.canceled() {
+			truncated = true
+			break
+		}
 		for c := capacity; c >= w[i]; c-- {
 			if cand := dp[c-w[i]] + v[i]; cand > dp[c] {
 				dp[c] = cand
@@ -223,7 +259,7 @@ func selectKnapsack(cfus []*CFU, opts SelectOptions) *Selection {
 	var chosen []*CFU
 	c := capacity
 	for i := n - 1; i >= 0; i-- {
-		if keep[i][c] {
+		if keep[i] != nil && keep[i][c] {
 			chosen = append(chosen, cfus[i])
 			c -= w[i]
 		}
@@ -237,7 +273,7 @@ func selectKnapsack(cfus []*CFU, opts SelectOptions) *Selection {
 	opts.Telemetry.Add("select.rounds", 1)
 	opts.Telemetry.Add("select.considered", int64(n))
 	opts.Telemetry.Add("select.selected", int64(len(chosen)))
-	sel := &Selection{CFUs: chosen}
+	sel := &Selection{CFUs: chosen, Truncated: truncated}
 	claimed := make(map[opKey]bool)
 	for _, cf := range chosen {
 		ensureVariants(cf, opts.MaxVariants)

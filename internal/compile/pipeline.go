@@ -61,6 +61,11 @@ type Report struct {
 	// PerCFU counts replacements by CFU name.
 	PerCFU map[string]int
 	Blocks []BlockReport
+	// Truncated mirrors the MDES's truncation tag: the hardware this
+	// program was compiled against came from an exploration that ran out of
+	// its anytime budget, so the speedup is a valid lower bound rather than
+	// the full-search figure.
+	Truncated bool
 }
 
 // Compile lowers p against the CFUs in m: it discovers every pattern match,
@@ -87,7 +92,7 @@ func Compile(p *ir.Program, m *mdes.MDES, opts Options) (*ir.Program, *Report, e
 		ir.Optimize(p)
 	}
 	out := p.Clone()
-	rep := &Report{Source: p.Name, MDESSource: m.Source, PerCFU: make(map[string]int)}
+	rep := &Report{Source: p.Name, MDESSource: m.Source, PerCFU: make(map[string]int), Truncated: m.Truncated}
 
 	var opMatch func(pat, op ir.Opcode) bool
 	if opts.UseOpcodeClasses {

@@ -5,7 +5,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cfu"
 	"repro/internal/compile"
@@ -52,6 +54,19 @@ type Config struct {
 	// Telemetry, when non-nil, receives per-stage spans and counters from
 	// every stage of the flow (explore, combine, select, compile, sim).
 	Telemetry *telemetry.Registry
+	// Ctx, when non-nil, cancels the hardware-compiler stages (explore,
+	// combine, select) cooperatively: each stage returns best-so-far
+	// results tagged Truncated instead of aborting. nil = background.
+	Ctx context.Context
+	// ExploreDeadline bounds the exploration stage's wall-clock time (0 =
+	// none). Expiry yields a Truncated, best-so-far candidate pool.
+	ExploreDeadline time.Duration
+	// MaxCandidates caps the candidates exploration records (0 =
+	// unlimited); hitting the cap tags the result Truncated.
+	MaxCandidates int
+	// MaxExamined overrides the per-block subgraph-visit safety valve (0 =
+	// the explorer's default of 200000).
+	MaxExamined int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,11 +132,17 @@ func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
 	ecfg := explore.DefaultConfig(cfg.Lib)
 	ecfg.Constraints = cfg.Constraints
 	ecfg.Telemetry = cfg.Telemetry
+	ecfg.Ctx = cfg.Ctx
+	ecfg.Deadline = cfg.ExploreDeadline
+	ecfg.MaxCandidates = cfg.MaxCandidates
+	if cfg.MaxExamined > 0 {
+		ecfg.MaxExamined = cfg.MaxExamined
+	}
 	if cfg.Fanout != nil {
 		ecfg.Fanout = cfg.Fanout
 	}
 	res := explore.Explore(p, ecfg)
-	cands := cfu.Combine(res, cfg.Lib, cfu.CombineOptions{Telemetry: cfg.Telemetry})
+	cands, ctrunc := cfu.CombinePartial(res, cfg.Lib, cfu.CombineOptions{Telemetry: cfg.Telemetry, Ctx: cfg.Ctx})
 	if cfg.MultiFunction {
 		cands = cfu.BuildMultiFunction(cands, cfg.Lib, 0)
 	}
@@ -130,14 +151,20 @@ func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
 		Mode:      cfg.SelectMode,
 		Lib:       cfg.Lib,
 		Telemetry: cfg.Telemetry,
+		Ctx:       cfg.Ctx,
 	})
-	return mdes.FromSelection(p.Name, cfg.Budget, sel), cands, nil
+	m := mdes.FromSelection(p.Name, cfg.Budget, sel)
+	m.Truncated = m.Truncated || res.Stats.Truncated || ctrunc
+	return m, cands, nil
 }
 
 // CompileWith runs only the software compiler: application plus MDES in,
 // customized program and speedup report out.
 func CompileWith(p *ir.Program, m *mdes.MDES, cfg Config) (*ir.Program, *compile.Report, error) {
 	cfg = cfg.withDefaults()
+	if err := ir.Validate(p); err != nil {
+		return nil, nil, fmt.Errorf("core: input program: %w", err)
+	}
 	out, rep, err := compile.Compile(p, m, compile.Options{
 		Machine:          cfg.Machine,
 		Lib:              cfg.Lib,

@@ -6,6 +6,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/cfu"
 	"repro/internal/compile"
 	"repro/internal/explore"
+	"repro/internal/faultinject"
 	"repro/internal/hwlib"
 	"repro/internal/ir"
 	"repro/internal/machine"
@@ -60,10 +63,20 @@ type Harness struct {
 	// at every Parallelism setting (timings aside). nil disables
 	// instrumentation at near-zero cost.
 	Telemetry *telemetry.Registry
+	// Ctx, when non-nil, cancels the hardware-compiler stages (explore,
+	// combine, select) cooperatively; results built after cancellation are
+	// tagged Truncated but remain valid (see explore.Config.Ctx).
+	Ctx context.Context
+	// ExploreDeadline bounds each benchmark's exploration wall-clock time
+	// (0 = none); expiry yields a Truncated, best-so-far candidate pool.
+	ExploreDeadline time.Duration
+	// MaxCandidates caps the candidates exploration records per benchmark
+	// (0 = unlimited); hitting the cap tags the results Truncated.
+	MaxCandidates int
 
 	mu       sync.Mutex
 	benches  map[string]*memoCell[*workloads.Benchmark]
-	cands    map[string]*memoCell[[]*cfu.CFU]
+	cands    map[string]*memoCell[candSet]
 	mdess    map[mdesKey]*memoCell[*mdes.MDES]
 	selLocks map[string]*sync.Mutex
 	// jobNanos accumulates per-job wall time for the speedup report.
@@ -77,13 +90,20 @@ type mdesKey struct {
 	budget float64
 }
 
+// candSet is one benchmark's candidate pool plus whether an anytime budget
+// cut the exploration or combination short while building it.
+type candSet struct {
+	cfus      []*cfu.CFU
+	truncated bool
+}
+
 // NewHarness returns a harness with the paper's defaults.
 func NewHarness() *Harness {
 	return &Harness{
 		Lib:      hwlib.Default(),
 		Machine:  machine.Default4Wide(),
 		benches:  make(map[string]*memoCell[*workloads.Benchmark]),
-		cands:    make(map[string]*memoCell[[]*cfu.CFU]),
+		cands:    make(map[string]*memoCell[candSet]),
 		mdess:    make(map[mdesKey]*memoCell[*mdes.MDES]),
 		selLocks: make(map[string]*sync.Mutex),
 	}
@@ -92,6 +112,9 @@ func NewHarness() *Harness {
 // Benchmark returns (and caches) the named benchmark.
 func (h *Harness) Benchmark(name string) (*workloads.Benchmark, error) {
 	v, hit, err := memoize(&h.mu, h.benches, name, func() (*workloads.Benchmark, error) {
+		if err := faultinject.Fire("benchmark", name); err != nil {
+			return nil, err
+		}
 		return workloads.ByName(name)
 	})
 	h.Telemetry.AddHitMiss("memo.benchmark", hit)
@@ -101,18 +124,37 @@ func (h *Harness) Benchmark(name string) (*workloads.Benchmark, error) {
 // Candidates runs exploration + combination for the named benchmark once,
 // no matter how many workers ask for it concurrently.
 func (h *Harness) Candidates(name string) ([]*cfu.CFU, error) {
-	v, hit, err := memoize(&h.mu, h.cands, name, func() ([]*cfu.CFU, error) {
+	cs, err := h.candidatesFull(name)
+	return cs.cfus, err
+}
+
+// candidatesFull is Candidates plus the truncation tag of the pool.
+func (h *Harness) candidatesFull(name string) (candSet, error) {
+	v, hit, err := memoize(&h.mu, h.cands, name, func() (candSet, error) {
+		if err := faultinject.Fire("explore", name); err != nil {
+			return candSet{}, err
+		}
 		b, err := h.Benchmark(name)
 		if err != nil {
-			return nil, err
+			return candSet{}, err
 		}
 		cfg := explore.DefaultConfig(h.Lib)
 		if h.ExploreConfig != nil {
 			cfg = *h.ExploreConfig
 		}
 		cfg.Telemetry = h.Telemetry
+		if h.Ctx != nil {
+			cfg.Ctx = h.Ctx
+		}
+		if h.ExploreDeadline > 0 {
+			cfg.Deadline = h.ExploreDeadline
+		}
+		if h.MaxCandidates > 0 {
+			cfg.MaxCandidates = h.MaxCandidates
+		}
 		res := explore.Explore(b.Program, cfg)
-		return cfu.Combine(res, h.Lib, cfu.CombineOptions{Telemetry: h.Telemetry}), nil
+		cfus, ctrunc := cfu.CombinePartial(res, h.Lib, cfu.CombineOptions{Telemetry: h.Telemetry, Ctx: h.Ctx})
+		return candSet{cfus: cfus, truncated: res.Stats.Truncated || ctrunc}, nil
 	})
 	h.Telemetry.AddHitMiss("memo.candidates", hit)
 	return v, err
@@ -121,18 +163,25 @@ func (h *Harness) Candidates(name string) ([]*cfu.CFU, error) {
 // MDESAt selects CFUs for the named benchmark at the given area budget.
 // Selections are memoized per (benchmark, budget), and the cfu.Select call
 // itself is serialized per benchmark because selection lazily mutates the
-// shared candidate list.
+// shared candidate list. The MDES carries a Truncated tag when any anytime
+// budget (harness deadline, candidate cap, context) cut exploration,
+// combination, or selection short.
 func (h *Harness) MDESAt(name string, budget float64) (*mdes.MDES, error) {
 	v, hit, err := memoize(&h.mu, h.mdess, mdesKey{name, budget}, func() (*mdes.MDES, error) {
-		cands, err := h.Candidates(name)
+		if err := faultinject.Fire("select", name); err != nil {
+			return nil, err
+		}
+		cs, err := h.candidatesFull(name)
 		if err != nil {
 			return nil, err
 		}
 		l := h.selLock(name)
 		l.Lock()
-		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Telemetry: h.Telemetry})
+		sel := cfu.Select(cs.cfus, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Telemetry: h.Telemetry, Ctx: h.Ctx})
 		l.Unlock()
-		return mdes.FromSelection(name, budget, sel), nil
+		m := mdes.FromSelection(name, budget, sel)
+		m.Truncated = m.Truncated || cs.truncated
+		return m, nil
 	})
 	h.Telemetry.AddHitMiss("memo.mdesat", hit)
 	return v, err
@@ -142,6 +191,9 @@ func (h *Harness) MDESAt(name string, budget float64) (*mdes.MDES, error) {
 // cfuSource at the given budget and returns the speedup report.
 func (h *Harness) CompileOn(app, cfuSource string, budget float64, opts compile.Options) (*compile.Report, error) {
 	defer h.noteJobTime(time.Now())
+	if err := faultinject.Fire("compile", app); err != nil {
+		return nil, err
+	}
 	b, err := h.Benchmark(app)
 	if err != nil {
 		return nil, err
@@ -181,6 +233,9 @@ func (h *Harness) CompileOn(app, cfuSource string, budget float64, opts compile.
 type SweepPoint struct {
 	Budget  float64
 	Speedup float64
+	// Truncated marks a point whose hardware came from a budget-cut
+	// (anytime) exploration: a valid lower bound, not the full search.
+	Truncated bool
 }
 
 // SweepResult is one curve of Figure 7.
@@ -188,6 +243,12 @@ type SweepResult struct {
 	App       string
 	CFUSource string // equals App for native compiles
 	Points    []SweepPoint
+	// Err is the first failure among this curve's compile jobs (nil when
+	// every point succeeded). Renderers skip failed curves; the sweep's
+	// overall error joins every job failure across all curves.
+	Err error
+	// Truncated reports that at least one point of the curve is truncated.
+	Truncated bool
 }
 
 // Label renders the curve name as the paper does ("rijndael-blowfish").
@@ -206,38 +267,60 @@ type sweepPair struct {
 // sweepAll compiles every (pair, budget) combination as one flat job list
 // on the worker pool, writing each speedup into its predetermined slot so
 // the curves come back in input order regardless of scheduling.
+//
+// Failures are isolated per curve: a benchmark whose pipeline errors (or
+// panics) marks only its own SweepResult.Err, every other curve completes
+// normally, and the returned error joins all job failures so the caller
+// can report each one and still render the healthy curves.
 func (h *Harness) sweepAll(pairs []sweepPair, budgets []float64) ([]*SweepResult, error) {
 	out := make([]*SweepResult, len(pairs))
 	for k, p := range pairs {
 		out[k] = &SweepResult{App: p.app, CFUSource: p.src, Points: make([]SweepPoint, len(budgets))}
 	}
-	if len(budgets) == 0 {
+	nb := len(budgets)
+	if nb == 0 {
 		return out, nil
 	}
-	err := h.parallelFor(len(pairs)*len(budgets), func(j int) error {
-		k, bi := j/len(budgets), j%len(budgets)
-		rep, err := h.CompileOn(pairs[k].app, pairs[k].src, budgets[bi], compile.Options{})
-		if err != nil {
-			return err
+	errs := h.parallelForAll(len(pairs)*nb,
+		func(j int) string {
+			p := pairs[j/nb]
+			return fmt.Sprintf("benchmark %q on %q at budget %g", p.app, p.src, budgets[j%nb])
+		},
+		func(j int) error {
+			k, bi := j/nb, j%nb
+			rep, err := h.CompileOn(pairs[k].app, pairs[k].src, budgets[bi], compile.Options{})
+			if err != nil {
+				return fmt.Errorf("benchmark %s on %s at budget %g: %w",
+					pairs[k].app, pairs[k].src, budgets[bi], err)
+			}
+			out[k].Points[bi] = SweepPoint{Budget: budgets[bi], Speedup: rep.Speedup, Truncated: rep.Truncated}
+			return nil
+		})
+	// Attribute failures and truncation to curves after the pool drains —
+	// jobs write only their own slot, so no concurrent flag updates.
+	for j, err := range errs {
+		if err != nil && out[j/nb].Err == nil {
+			out[j/nb].Err = err
 		}
-		out[k].Points[bi] = SweepPoint{Budget: budgets[bi], Speedup: rep.Speedup}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	for _, r := range out {
+		for _, pt := range r.Points {
+			if pt.Truncated {
+				r.Truncated = true
+				break
+			}
+		}
+	}
+	return out, errors.Join(errs...)
 }
 
 // Sweep compiles app against cfuSource's CFUs across the budgets. The
 // compiler generalizations are enabled as in the paper's Figure 7 runs
-// (exact matching only; extensions are studied separately).
+// (exact matching only; extensions are studied separately). The curve is
+// returned even on error, holding the points that did compile.
 func (h *Harness) Sweep(app, cfuSource string, budgets []float64) (*SweepResult, error) {
 	res, err := h.sweepAll([]sweepPair{{app, cfuSource}}, budgets)
-	if err != nil {
-		return nil, err
-	}
-	return res[0], nil
+	return res[0], err
 }
 
 // Fig7Native produces the left half of Figure 7 for one domain: every
@@ -346,10 +429,9 @@ func (h *Harness) ExtensionStudy(domain string, budget float64) ([]*ExtensionRes
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	// Partial results: bar groups whose jobs all succeeded are complete;
+	// the joined error names every failed (pair, mode) job.
+	return out, err
 }
 
 // LimitResult is one row of the limit study.
@@ -408,10 +490,8 @@ func (h *Harness) LimitStudy(apps []string) ([]*LimitResult, error) {
 		out[i] = &LimitResult{App: app, At15: rep15.Speedup, Unlimited: repInf.Speedup}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	// Partial results: rows for failed apps stay nil; renderers skip them.
+	return out, err
 }
 
 // ExplorationStats reproduces Figure 3: subgraphs examined by candidate
@@ -579,10 +659,8 @@ func (h *Harness) MultiFunctionStudy(domain string, budget float64) ([]*MultiFun
 		out[j] = r
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	// Partial results: rows for failed pairs stay nil; renderers skip them.
+	return out, err
 }
 
 // MemoryCFUResult is one row of the relaxed-memory study.
@@ -715,10 +793,9 @@ func (h *Harness) SelectionAblation(app string, budgets []float64) ([]AblationPo
 		out[j] = AblationPoint{Mode: mode, Budget: budget, Speedup: rep.Speedup}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	// Partial results: failed points stay zero-valued; the joined error
+	// names each failed (mode, budget) job.
+	return out, err
 }
 
 // GuideAblation compares guide-function weightings (§3.2): the paper's even

@@ -1,11 +1,44 @@
 package experiment
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError is a panic caught at a pipeline fault boundary (a parallelFor
+// job or a memoized computation) and converted into an ordinary error, so
+// one poisoned benchmark cannot take down a whole sweep. It carries the
+// recovered value, the goroutine stack at the panic site, and the identity
+// of the failing job.
+type PanicError struct {
+	// Job is the parallelFor index of the failing job, or -1 when the panic
+	// was caught inside a memoized computation rather than a job body.
+	Job int
+	// Context names what was running, e.g. `benchmark "crc"` or a memo key.
+	Context string
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v\n%s", e.Context, e.Value, e.Stack)
+}
+
+// recoverToError converts an in-flight panic into a *PanicError. It must be
+// called directly from a deferred function.
+func recoverToError(job int, context string, errp *error) {
+	if r := recover(); r != nil {
+		buf := make([]byte, 64<<10)
+		buf = buf[:runtime.Stack(buf, false)]
+		*errp = &PanicError{Job: job, Context: context, Value: r, Stack: buf}
+	}
+}
 
 // workers resolves the harness's degree of parallelism: Parallelism when
 // positive, else one worker per available CPU.
@@ -17,11 +50,13 @@ func (h *Harness) workers() int {
 }
 
 // parallelFor runs fn(i) for every i in [0, n), fanning the indices out
-// over at most workers() goroutines. Results must be written by fn into
-// index i of a pre-sized slice, which makes the merge order identical to
-// the serial loop no matter how the scheduler interleaves jobs. The
-// returned error is the lowest-index failure, again matching what a
-// serial loop would report first.
+// over at most workers() goroutines, and returns the join (in index order)
+// of every job's error. Results must be written by fn into index i of a
+// pre-sized slice, which makes the merge order identical to the serial
+// loop no matter how the scheduler interleaves jobs. A failing — or
+// panicking — job never stops the others: every job runs to completion
+// even in serial mode, so callers always hold the partial results of the
+// jobs that succeeded.
 //
 // When telemetry is enabled the pool reports its own utilization: busy
 // time is the sum of per-job wall times, capacity is workers x the fan-out
@@ -29,20 +64,39 @@ func (h *Harness) workers() int {
 // actually spent in jobs (the gap is memo-cache waits and scheduler
 // stalls — why -j 8 can achieve less than 8x).
 func (h *Harness) parallelFor(n int, fn func(i int) error) error {
+	return errors.Join(h.parallelForAll(n, nil, fn)...)
+}
+
+// parallelForAll is parallelFor with per-job error attribution: it returns
+// the full per-index error slice so harnesses can map failures back to the
+// benchmark that caused them. Each job runs under a panic fence: a panic
+// becomes a *PanicError in the job's slot (named via jobName when non-nil)
+// carrying the goroutine stack, and the pool.panics telemetry counter
+// tallies every job whose error chain contains one — whether the panic
+// fired in the job body or inside a memoized computation the job waited on.
+func (h *Harness) parallelForAll(n int, jobName func(i int) string, fn func(i int) error) []error {
 	w := h.workers()
 	if w > n {
 		w = n
 	}
 	tel := h.Telemetry
-	job := fn
+	nameOf := jobName
+	if nameOf == nil {
+		nameOf = func(i int) string { return fmt.Sprintf("job %d", i) }
+	}
+	job := func(i int) (err error) {
+		defer recoverToError(i, nameOf(i), &err)
+		return fn(i)
+	}
 	var poolStart time.Time
 	if tel.Enabled() {
 		poolStart = time.Now()
 		tel.Add("pool.jobs", int64(n))
 		tel.MaxGauge("pool.workers", float64(w))
+		inner := job
 		job = func(i int) error {
 			t0 := time.Now()
-			err := fn(i)
+			err := inner(i)
 			tel.Add("pool.busy_ns", int64(time.Since(t0)))
 			return err
 		}
@@ -50,37 +104,40 @@ func (h *Harness) parallelFor(n int, fn func(i int) error) error {
 			tel.Add("pool.capacity_ns", int64(w)*int64(time.Since(poolStart)))
 		}()
 	}
+	errs := make([]error, n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
-				return err
-			}
+			errs[i] = job(i)
 		}
-		return nil
-	}
-	errs := make([]error, n)
-	next := int64(-1)
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
+	} else {
+		next := int64(-1)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= n {
+						return
+					}
+					errs[i] = job(i)
 				}
-				errs[i] = job(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	var panics int64
 	for _, err := range errs {
-		if err != nil {
-			return err
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			panics++
 		}
 	}
-	return nil
+	if panics > 0 {
+		tel.Add("pool.panics", panics)
+	}
+	return errs
 }
 
 // memoCell holds one compute-once cache entry. The harness maps keys to
@@ -98,6 +155,16 @@ type memoCell[V any] struct {
 // return reports whether the cell already existed (a cache hit — including
 // co-waiting on a computation another goroutine started, since the cache
 // still prevented a recompute).
+//
+// Two fault rules keep a bad computation from poisoning the cache:
+//
+//   - A panic inside f is recovered into a *PanicError. Without that,
+//     sync.Once would mark the cell done with a zero value and a nil
+//     error, and every later caller would silently get garbage.
+//   - An errored cell is evicted before returning, so only successful
+//     values are cached permanently and a later call retries the
+//     computation (transient failures heal; the concurrent co-waiters of
+//     the failed attempt all still see its error).
 func memoize[K comparable, V any](mu *sync.Mutex, m map[K]*memoCell[V], key K, f func() (V, error)) (V, bool, error) {
 	mu.Lock()
 	c, hit := m[key]
@@ -106,7 +173,19 @@ func memoize[K comparable, V any](mu *sync.Mutex, m map[K]*memoCell[V], key K, f
 		m[key] = c
 	}
 	mu.Unlock()
-	c.once.Do(func() { c.val, c.err = f() })
+	c.once.Do(func() {
+		defer recoverToError(-1, fmt.Sprintf("memoized computation %v", key), &c.err)
+		c.val, c.err = f()
+	})
+	if c.err != nil {
+		mu.Lock()
+		// Only evict our own cell: a retry may already have installed a
+		// fresh one.
+		if m[key] == c {
+			delete(m, key)
+		}
+		mu.Unlock()
+	}
 	return c.val, hit, c.err
 }
 

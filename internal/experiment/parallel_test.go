@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -122,19 +123,29 @@ func TestHarnessSharedRace(t *testing.T) {
 	}
 }
 
-// TestParallelErrorIsFirstByIndex pins the error contract of the worker
-// pool: whatever the interleaving, the reported failure is the one a
-// serial loop would have hit first.
-func TestParallelErrorIsFirstByIndex(t *testing.T) {
-	h := NewHarness()
-	h.Parallelism = 8
-	_, err := h.Sweep("bogus", "bogus", []float64{1, 2, 3, 4})
-	if err == nil {
+// TestParallelErrorsJoinAll pins the error contract of the worker pool:
+// every failing job is reported (joined in index order), the text names
+// the failing benchmark, and serial and parallel runs produce the
+// identical joined error whatever the interleaving.
+func TestParallelErrorsJoinAll(t *testing.T) {
+	budgets := []float64{1, 2, 3, 4}
+	par := NewHarness()
+	par.Parallelism = 8
+	_, perr := par.Sweep("bogus", "bogus", budgets)
+	if perr == nil {
 		t.Fatal("expected unknown-benchmark error")
 	}
-	want, err2 := h.Sweep("bogus", "bogus", []float64{1})
-	_ = want
-	if err2 == nil || err.Error() != err2.Error() {
-		t.Fatalf("parallel error %q differs from serial first error %q", err, err2)
+	if !strings.Contains(perr.Error(), "bogus") {
+		t.Fatalf("error does not name the failing benchmark: %q", perr)
+	}
+	// One entry per failed job, not just the first.
+	if got := strings.Count(perr.Error(), "at budget"); got != len(budgets) {
+		t.Fatalf("joined error reports %d of %d job failures:\n%v", got, len(budgets), perr)
+	}
+	ser := NewHarness()
+	ser.Parallelism = 1
+	_, serr := ser.Sweep("bogus", "bogus", budgets)
+	if serr == nil || perr.Error() != serr.Error() {
+		t.Fatalf("parallel joined error differs from serial:\nparallel: %v\nserial:   %v", perr, serr)
 	}
 }

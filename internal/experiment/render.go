@@ -7,20 +7,43 @@ import (
 )
 
 // RenderSweeps prints Figure 7-style curves as a text table: one row per
-// curve, one column per budget.
+// curve, one column per budget. Curves that failed (Err != nil) are
+// skipped — the caller reports them separately — so healthy curves render
+// byte-identically whether or not another benchmark failed. Truncated
+// curves are marked with a label suffix.
 func RenderSweeps(w io.Writer, title string, sweeps []*SweepResult) {
 	fmt.Fprintf(w, "%s\n", title)
 	if len(sweeps) == 0 {
 		fmt.Fprintln(w, "  (no curves)")
 		return
 	}
+	// Header budgets come from the first healthy curve: a failed curve's
+	// points may never have been filled in.
+	var header *SweepResult
+	for _, s := range sweeps {
+		if s.Err == nil {
+			header = s
+			break
+		}
+	}
+	if header == nil {
+		fmt.Fprintln(w, "  (all curves failed)")
+		return
+	}
 	fmt.Fprintf(w, "  %-24s", "cost (adders):")
-	for _, p := range sweeps[0].Points {
+	for _, p := range header.Points {
 		fmt.Fprintf(w, " %6.0f", p.Budget)
 	}
 	fmt.Fprintln(w)
 	for _, s := range sweeps {
-		fmt.Fprintf(w, "  %-24s", s.Label())
+		if s.Err != nil {
+			continue
+		}
+		label := s.Label()
+		if s.Truncated {
+			label += " [truncated]"
+		}
+		fmt.Fprintf(w, "  %-24s", label)
 		for _, p := range s.Points {
 			fmt.Fprintf(w, " %6.2f", p.Speedup)
 		}
@@ -35,6 +58,9 @@ func RenderExtensions(w io.Writer, title string, rows []*ExtensionResult) {
 	fmt.Fprintf(w, "  %-28s %8s %10s %9s %11s\n",
 		"app-cfuset", "exact", "+subsumed", "wildcard", "wc+subsumed")
 	for _, r := range rows {
+		if r == nil {
+			continue
+		}
 		fmt.Fprintf(w, "  %-28s %8.2f %10.2f %9.2f %11.2f\n",
 			r.Label(), r.Exact, r.ExactSubsumed, r.Wildcard, r.WildcardSubsumed)
 	}
@@ -45,6 +71,9 @@ func RenderLimit(w io.Writer, rows []*LimitResult) {
 	fmt.Fprintln(w, "Limit study: 15-adder speedup vs infinite area/ports")
 	fmt.Fprintf(w, "  %-12s %10s %12s\n", "app", "at 15", "unlimited")
 	for _, r := range rows {
+		if r == nil {
+			continue
+		}
 		fmt.Fprintf(w, "  %-12s %10.2f %12.2f\n", r.App, r.At15, r.Unlimited)
 	}
 }
@@ -103,6 +132,9 @@ func RenderMultiFunction(w io.Writer, budget float64, rows []*MultiFunctionResul
 	fmt.Fprintf(w, "Multi-function CFUs at the %.0f-adder point (paper's future work)\n", budget)
 	fmt.Fprintf(w, "  %-24s %14s %14s %8s\n", "app-cfuset", "single-func", "multi-func", "merged")
 	for _, r := range rows {
+		if r == nil {
+			continue
+		}
 		fmt.Fprintf(w, "  %-24s %14.2f %14.2f %8d\n", r.Label(), r.Single, r.Multi, r.MergedSelected)
 	}
 }

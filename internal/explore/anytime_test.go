@@ -1,0 +1,82 @@
+package explore
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+)
+
+func denseProgram(n int) *ir.Program {
+	p := ir.NewProgram("dense")
+	p.Blocks = append(p.Blocks, denseBlock(n))
+	return p
+}
+
+// TestAnytimeDeadline proves exploration respects a wall-clock budget: a
+// vanishingly small deadline stops the run early, tags the stats, and the
+// candidates recorded before the cutoff are kept.
+func TestAnytimeDeadline(t *testing.T) {
+	cfg := DefaultConfig(hwlib.Default())
+	cfg.Deadline = time.Nanosecond
+	res := Explore(denseProgram(400), cfg)
+	if !res.Stats.Truncated {
+		t.Fatal("nanosecond deadline did not truncate the run")
+	}
+	if res.Stats.TruncatedBy != "deadline" {
+		t.Fatalf("TruncatedBy = %q, want \"deadline\"", res.Stats.TruncatedBy)
+	}
+	full := Explore(denseProgram(400), DefaultConfig(hwlib.Default()))
+	if res.Stats.Examined >= full.Stats.Examined {
+		t.Fatalf("deadline run examined %d subgraphs, full run %d — no early stop",
+			res.Stats.Examined, full.Stats.Examined)
+	}
+}
+
+// TestAnytimeCancel proves a canceled context stops exploration between
+// budget checks.
+func TestAnytimeCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig(hwlib.Default())
+	cfg.Ctx = ctx
+	res := Explore(denseProgram(400), cfg)
+	if !res.Stats.Truncated || res.Stats.TruncatedBy != "canceled" {
+		t.Fatalf("pre-canceled context: Truncated=%v TruncatedBy=%q",
+			res.Stats.Truncated, res.Stats.TruncatedBy)
+	}
+}
+
+// TestAnytimeMaxCandidates proves the candidate cap is a best-so-far stop,
+// not an abort: the run keeps what it found and reports the reason.
+func TestAnytimeMaxCandidates(t *testing.T) {
+	cfg := DefaultConfig(hwlib.Default())
+	cfg.MaxCandidates = 10
+	res := Explore(denseProgram(400), cfg)
+	if !res.Stats.Truncated || res.Stats.TruncatedBy != "max-candidates" {
+		t.Fatalf("cap: Truncated=%v TruncatedBy=%q", res.Stats.Truncated, res.Stats.TruncatedBy)
+	}
+	if res.Stats.Recorded < 10 {
+		t.Fatalf("recorded %d candidates, cap is 10 — stopped too early", res.Stats.Recorded)
+	}
+	// The cap allows a slight overshoot (it is checked between expansions),
+	// but not an unbounded one.
+	if res.Stats.Recorded > 10+64 {
+		t.Fatalf("recorded %d candidates, far past the cap of 10", res.Stats.Recorded)
+	}
+}
+
+// TestNoBudgetNotTruncated pins the golden-output invariant: without an
+// anytime budget nothing sets Truncated — not even the MaxExamined safety
+// valve, which several default benchmark runs hit.
+func TestNoBudgetNotTruncated(t *testing.T) {
+	cfg := DefaultConfig(hwlib.Default())
+	cfg.MaxExamined = 50 // force the safety valve
+	res := Explore(denseProgram(200), cfg)
+	if res.Stats.Truncated || res.Stats.TruncatedBy != "" {
+		t.Fatalf("MaxExamined valve set Truncated=%v TruncatedBy=%q; budgets alone may do that",
+			res.Stats.Truncated, res.Stats.TruncatedBy)
+	}
+}

@@ -14,8 +14,10 @@
 package explore
 
 import (
+	"context"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/hwlib"
 	"repro/internal/ir"
@@ -120,6 +122,19 @@ type Config struct {
 	// Telemetry, when non-nil, receives the exploration span and the
 	// examined/pruned/recorded counters.
 	Telemetry *telemetry.Registry
+
+	// Ctx, when non-nil, lets the caller cancel exploration; the run stops
+	// at the next budget check and returns its best-so-far candidates with
+	// Stats.Truncated set. nil means context.Background().
+	Ctx context.Context
+	// Deadline bounds one Explore call's wall-clock time (0 = none). The
+	// exploration is anytime: on expiry the candidates recorded so far are
+	// returned, tagged Truncated, rather than the run aborting.
+	Deadline time.Duration
+	// MaxCandidates stops exploration after recording this many
+	// constraint-satisfying candidates across the whole program (0 =
+	// unlimited); the result is tagged Truncated.
+	MaxCandidates int
 }
 
 // GuideWeights are the per-category points of the guide function.
@@ -161,6 +176,15 @@ type Stats struct {
 	PrunedDirections int
 	// Recorded is the number of constraint-satisfying candidates kept.
 	Recorded int
+	// Truncated reports that an anytime budget (deadline, cancellation, or
+	// MaxCandidates) ended the run early; the candidates recorded so far
+	// are still valid. The MaxExamined safety valve does NOT set it: that
+	// cap predates the budgets and bounds pathological blocks even in
+	// default runs.
+	Truncated bool
+	// TruncatedBy names the exhausted budget: "deadline", "canceled", or
+	// "max-candidates".
+	TruncatedBy string
 }
 
 // Result is the output of exploring one program.
@@ -169,12 +193,83 @@ type Result struct {
 	Stats      Stats
 }
 
-// Explore runs the space explorer over every block of p.
+// budget is the anytime-exploration bookkeeping shared by every block of
+// one Explore call: a context (carrying any deadline) and a program-wide
+// candidate cap. Context polls are amortized over checkEvery worklist pops
+// so the hot loop pays an integer decrement, not a channel select.
+type budget struct {
+	ctx           context.Context
+	cancel        context.CancelFunc
+	maxCandidates int
+	countdown     int
+}
+
+const budgetCheckEvery = 64
+
+// newBudget returns nil when cfg sets no anytime budget, keeping the
+// default path allocation- and branch-free.
+func newBudget(cfg Config) *budget {
+	if cfg.Ctx == nil && cfg.Deadline <= 0 && cfg.MaxCandidates <= 0 {
+		return nil
+	}
+	bud := &budget{ctx: cfg.Ctx, maxCandidates: cfg.MaxCandidates, countdown: budgetCheckEvery}
+	if bud.ctx == nil {
+		bud.ctx = context.Background()
+	}
+	if cfg.Deadline > 0 {
+		bud.ctx, bud.cancel = context.WithTimeout(bud.ctx, cfg.Deadline)
+	}
+	return bud
+}
+
+// exhausted reports whether an anytime budget has run out, recording the
+// reason in res the first time it trips.
+func (bud *budget) exhausted(res *Result) bool {
+	if bud == nil {
+		return false
+	}
+	if res.Stats.Truncated {
+		return true
+	}
+	if bud.maxCandidates > 0 && res.Stats.Recorded >= bud.maxCandidates {
+		res.Stats.Truncated = true
+		res.Stats.TruncatedBy = "max-candidates"
+		return true
+	}
+	bud.countdown--
+	if bud.countdown > 0 {
+		return false
+	}
+	bud.countdown = budgetCheckEvery
+	select {
+	case <-bud.ctx.Done():
+		res.Stats.Truncated = true
+		if bud.ctx.Err() == context.DeadlineExceeded {
+			res.Stats.TruncatedBy = "deadline"
+		} else {
+			res.Stats.TruncatedBy = "canceled"
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Explore runs the space explorer over every block of p. With an anytime
+// budget configured (Ctx, Deadline, or MaxCandidates) it may stop early,
+// returning best-so-far candidates with Stats.Truncated set.
 func Explore(p *ir.Program, cfg Config) *Result {
 	defer cfg.Telemetry.StartSpan("explore")()
 	res := &Result{Stats: Stats{BySize: make(map[int]int)}}
+	bud := newBudget(cfg)
+	if bud != nil && bud.cancel != nil {
+		defer bud.cancel()
+	}
 	for _, b := range p.Blocks {
-		exploreBlock(b, cfg, res)
+		if bud.exhausted(res) {
+			break
+		}
+		exploreBlock(b, cfg, res, bud)
 	}
 	// Candidate counts before/after guide pruning: every examined subgraph
 	// plus every pruned direction is a candidate the naive search would
@@ -182,13 +277,20 @@ func Explore(p *ir.Program, cfg Config) *Result {
 	cfg.Telemetry.Add("explore.subgraphs.examined", int64(res.Stats.Examined))
 	cfg.Telemetry.Add("explore.directions.pruned", int64(res.Stats.PrunedDirections))
 	cfg.Telemetry.Add("explore.candidates.recorded", int64(res.Stats.Recorded))
+	if res.Stats.Truncated {
+		cfg.Telemetry.Add("explore.truncated", 1)
+	}
 	return res
 }
 
 // ExploreBlock runs the space explorer over a single block.
 func ExploreBlock(b *ir.Block, cfg Config) *Result {
 	res := &Result{Stats: Stats{BySize: make(map[int]int)}}
-	exploreBlock(b, cfg, res)
+	bud := newBudget(cfg)
+	if bud != nil && bud.cancel != nil {
+		defer bud.cancel()
+	}
+	exploreBlock(b, cfg, res, bud)
 	return res
 }
 
@@ -387,7 +489,7 @@ func (c *blockCtx) convex(w *workItem) bool {
 	return true
 }
 
-func exploreBlock(b *ir.Block, cfg Config, res *Result) {
+func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 	if len(b.Ops) == 0 {
 		return
 	}
@@ -452,12 +554,18 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result) {
 	}
 
 	for i := 0; i < ctx.n && examined < maxExamined; i++ {
+		if bud.exhausted(res) {
+			return
+		}
 		if ctx.allowed.has(i) {
 			push(ctx.seed(i))
 		}
 	}
 
 	for len(queue) > 0 && examined < maxExamined {
+		if bud.exhausted(res) {
+			return
+		}
 		// FIFO pop: breadth-first keeps candidate sizes monotone, which
 		// the Sun-style pruning ablation relies on.
 		cur := queue[0]

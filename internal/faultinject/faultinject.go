@@ -1,0 +1,207 @@
+// Package faultinject is a test-only fault-injection harness for the
+// customization pipeline. Production stages call Fire(site, key) at their
+// entry points; when injection is disabled (the default) that is a single
+// atomic load. Tests — and operators reproducing failures — arm faults
+// either programmatically with Enable or through the REPRO_FAULTS
+// environment variable, and the pipeline's containment layers (panic
+// recovery in the worker pool and memo caches, partial-result sweeps) must
+// survive whatever is injected.
+//
+// A fault spec is a comma-separated list of rules:
+//
+//	site:key=mode[,site:key=mode...]
+//
+// where site names an injection point ("explore", "select", "compile",
+// "benchmark"), key selects the victim (usually a benchmark name; "*"
+// matches every key), and mode is one of:
+//
+//	panic        panic at the site (exercises panic containment)
+//	error        return an injected error from the site
+//	slow:DUR     sleep for DUR (a time.ParseDuration string) then proceed
+//
+// Example: REPRO_FAULTS='explore:sha=panic,compile:crc=slow:50ms'.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable Fire consults when no programmatic
+// rules are armed.
+const EnvVar = "REPRO_FAULTS"
+
+// Mode is what an armed rule does when it fires.
+type Mode int
+
+const (
+	// ModePanic panics at the site with an identifiable message.
+	ModePanic Mode = iota
+	// ModeError returns an *InjectedError from the site.
+	ModeError
+	// ModeSlow sleeps for the rule's duration, then lets the site proceed.
+	ModeSlow
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePanic:
+		return "panic"
+	case ModeError:
+		return "error"
+	case ModeSlow:
+		return "slow"
+	}
+	return "unknown"
+}
+
+// InjectedError marks an error as deliberately injected, so tests can
+// distinguish injected failures from real ones with errors.As.
+type InjectedError struct {
+	Site string
+	Key  string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %s:%s", e.Site, e.Key)
+}
+
+type rule struct {
+	site, key string
+	mode      Mode
+	sleep     time.Duration
+}
+
+var (
+	// armed is the fast-path gate: zero when no rules exist, so Fire costs
+	// one atomic load in production.
+	armed atomic.Int32
+	mu    sync.Mutex
+	rules []rule
+	// fired counts rule firings by "site:key", for test assertions.
+	fired = map[string]int{}
+)
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if _, err := Enable(spec); err != nil {
+			// A malformed env spec must not silently disable injection the
+			// operator asked for: fail loudly at startup.
+			panic(fmt.Sprintf("faultinject: bad %s: %v", EnvVar, err))
+		}
+	}
+}
+
+// parseSpec parses "site:key=mode" rules.
+func parseSpec(spec string) ([]rule, error) {
+	var out []rule
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		lhs, modeText, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("rule %q: want site:key=mode", entry)
+		}
+		site, key, ok := strings.Cut(lhs, ":")
+		if !ok || site == "" || key == "" {
+			return nil, fmt.Errorf("rule %q: want site:key=mode", entry)
+		}
+		r := rule{site: site, key: key}
+		switch {
+		case modeText == "panic":
+			r.mode = ModePanic
+		case modeText == "error":
+			r.mode = ModeError
+		case strings.HasPrefix(modeText, "slow"):
+			r.mode = ModeSlow
+			r.sleep = 10 * time.Millisecond
+			if rest, ok := strings.CutPrefix(modeText, "slow:"); ok {
+				d, err := time.ParseDuration(rest)
+				if err != nil {
+					return nil, fmt.Errorf("rule %q: bad duration: %v", entry, err)
+				}
+				r.sleep = d
+			}
+		default:
+			return nil, fmt.Errorf("rule %q: unknown mode %q", entry, modeText)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Enable arms the rules in spec on top of any already armed and returns a
+// restore func that removes exactly the rules it added. Tests should
+// defer the restore.
+func Enable(spec string) (restore func(), err error) {
+	added, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	prev := len(rules)
+	rules = append(rules, added...)
+	armed.Store(int32(len(rules)))
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		rules = rules[:prev]
+		armed.Store(int32(len(rules)))
+		mu.Unlock()
+	}, nil
+}
+
+// Reset disarms every rule and clears the firing counts.
+func Reset() {
+	mu.Lock()
+	rules = nil
+	armed.Store(0)
+	fired = map[string]int{}
+	mu.Unlock()
+}
+
+// Fired reports how many times a site:key rule has fired.
+func Fired(site, key string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[site+":"+key]
+}
+
+// Fire is the injection point the pipeline calls. With no rules armed it
+// is a single atomic load. With a matching rule it panics, returns an
+// *InjectedError, or sleeps, per the rule's mode.
+func Fire(site, key string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	var hit *rule
+	for i := range rules {
+		if rules[i].site == site && (rules[i].key == key || rules[i].key == "*") {
+			hit = &rules[i]
+			break
+		}
+	}
+	if hit != nil {
+		fired[site+":"+key]++
+	}
+	mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	switch hit.mode {
+	case ModePanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s:%s", site, key))
+	case ModeError:
+		return &InjectedError{Site: site, Key: key}
+	case ModeSlow:
+		time.Sleep(hit.sleep)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Reset()
+	if err := Fire("explore", "blowfish"); err != nil {
+		t.Fatalf("disabled Fire returned %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	Reset()
+	restore, err := Enable("explore:sha=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	if err := Fire("explore", "blowfish"); err != nil {
+		t.Fatalf("non-matching key fired: %v", err)
+	}
+	if err := Fire("compile", "sha"); err != nil {
+		t.Fatalf("non-matching site fired: %v", err)
+	}
+	err = Fire("explore", "sha")
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("got %v, want *InjectedError", err)
+	}
+	if inj.Site != "explore" || inj.Key != "sha" {
+		t.Fatalf("injected error identifies %s:%s", inj.Site, inj.Key)
+	}
+	if Fired("explore", "sha") != 1 {
+		t.Fatalf("fired count = %d, want 1", Fired("explore", "sha"))
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	restore, err := Enable("select:*=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected injected panic")
+		}
+	}()
+	Fire("select", "anything")
+}
+
+func TestSlowMode(t *testing.T) {
+	Reset()
+	restore, err := Enable("compile:crc=slow:30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	t0 := time.Now()
+	if err := Fire("compile", "crc"); err != nil {
+		t.Fatalf("slow mode returned %v", err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("slow injection returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestRestoreRemovesOnlyItsRules(t *testing.T) {
+	Reset()
+	r1, err := Enable("explore:a=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Enable("explore:b=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+	if err := Fire("explore", "b"); err != nil {
+		t.Fatalf("restored rule still fires: %v", err)
+	}
+	if err := Fire("explore", "a"); err == nil {
+		t.Fatal("outer rule was removed by inner restore")
+	}
+	r1()
+	if err := Fire("explore", "a"); err != nil {
+		t.Fatalf("rule fires after restore: %v", err)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	for _, spec := range []string{"explore", "explore=panic", "a:b=frobnicate", "a:b=slow:xyz"} {
+		if _, err := Enable(spec); err == nil {
+			t.Errorf("Enable(%q) accepted a malformed spec", spec)
+			Reset()
+		}
+	}
+}

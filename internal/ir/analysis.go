@@ -205,11 +205,30 @@ func (d *DFG) Users(i int) []int {
 
 // Validate checks structural invariants: every FromOp operand references an
 // op in the same block that precedes first use in some topological order
-// (i.e. no cycles), arities match, and terminators are last.
+// (i.e. no cycles), arities match, opcodes are known, Custom ops carry
+// their instruction spec, and terminators are last. It is the boundary
+// guard of every public pipeline entry point: a program that passes never
+// panics the analyzer, so Validate itself must reject malformed structure
+// (nil blocks/ops, unknown opcodes) with errors, not crashes.
 func Validate(p *Program) error {
-	for _, b := range p.Blocks {
+	if p == nil {
+		return fmt.Errorf("ir: nil program")
+	}
+	for bi, b := range p.Blocks {
+		if b == nil {
+			return fmt.Errorf("ir: program %q block %d is nil", p.Name, bi)
+		}
 		pos := make(map[*Op]int, len(b.Ops))
 		for i, op := range b.Ops {
+			if op == nil {
+				return fmt.Errorf("ir: block %q op %d is nil", b.Name, i)
+			}
+			if op.Code >= MaxOpcode {
+				return fmt.Errorf("ir: block %q op %%%d has unknown opcode %d", b.Name, op.ID, op.Code)
+			}
+			if (op.Code == Custom) != (op.Custom != nil) {
+				return fmt.Errorf("ir: block %q op %%%d: Custom spec and opcode disagree", b.Name, op.ID)
+			}
 			pos[op] = i
 		}
 		// Register writes commit at block exit, so a register must have a

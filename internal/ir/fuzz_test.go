@@ -1,0 +1,100 @@
+package ir
+
+import (
+	"testing"
+)
+
+// FuzzValidate drives ir.Validate with structurally mutated programs built
+// from the fuzz input: arbitrary opcodes (including out-of-range ones),
+// operand references that may point backward, forward (a cycle), at other
+// blocks, or at nothing, duplicate live-out registers, and Custom markers
+// without specs. The contract under test is the boundary guarantee the
+// pipeline entry points rely on: Validate never panics, and any program it
+// accepts is safe to Analyze.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x00, 40, 41, 42, 43, 44, 45})
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := mutatedProgram(data)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Validate panicked: %v", r)
+			}
+		}()
+		if err := Validate(p); err != nil {
+			return
+		}
+		// Accepted programs must survive analysis without panicking.
+		for _, b := range p.Blocks {
+			Analyze(b)
+		}
+	})
+}
+
+// mutatedProgram deterministically decodes a byte stream into a (usually
+// malformed) program. Every byte consumed steers one structural choice, so
+// the fuzzer's mutations explore the space of broken invariants.
+func mutatedProgram(data []byte) *Program {
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		v := int(data[0])
+		data = data[1:]
+		return v
+	}
+	p := NewProgram("fuzz")
+	nBlocks := next()%3 + 1
+	for bi := 0; bi < nBlocks; bi++ {
+		b := &Block{Name: string(rune('a' + bi)), Weight: float64(next())}
+		nOps := next() % 12
+		for oi := 0; oi < nOps; oi++ {
+			op := &Op{ID: oi, Code: Opcode(next() % (int(MaxOpcode) + 4))}
+			nArgs := next() % 4
+			for ai := 0; ai < nArgs; ai++ {
+				switch next() % 4 {
+				case 0: // reference some op of this block, any direction
+					if len(b.Ops) > 0 || oi > 0 {
+						idx := next() % (len(b.Ops) + 1)
+						var x *Op
+						if idx < len(b.Ops) {
+							x = b.Ops[idx]
+						} else {
+							x = op // self-reference: a one-node cycle
+						}
+						op.Args = append(op.Args, Operand{Kind: FromOp, X: x, Idx: next()%3 - 1})
+					} else {
+						op.Args = append(op.Args, Operand{Kind: FromOp, X: nil})
+					}
+				case 1: // reference an op of a previous block
+					if len(p.Blocks) > 0 && len(p.Blocks[0].Ops) > 0 {
+						op.Args = append(op.Args, Operand{Kind: FromOp, X: p.Blocks[0].Ops[0]})
+					} else {
+						op.Args = append(op.Args, Operand{Kind: FromReg, Reg: Reg(next() % 8)})
+					}
+				case 2:
+					op.Args = append(op.Args, Operand{Kind: FromReg, Reg: Reg(next() % 8)})
+				default:
+					op.Args = append(op.Args, Operand{Kind: Imm, Val: uint32(next())})
+				}
+			}
+			if next()%3 == 0 {
+				op.Dest = Reg(next()%4 + 1) // small range: duplicate defs likely
+			}
+			if next()%7 == 0 {
+				op.Code = Custom // usually without a Custom spec
+			}
+			b.Ops = append(b.Ops, op)
+		}
+		if next()%5 == 0 {
+			b.Ops = append(b.Ops, nil)
+		}
+		p.Blocks = append(p.Blocks, b)
+	}
+	if next()%9 == 0 {
+		p.Blocks = append(p.Blocks, nil)
+	}
+	return p
+}

@@ -44,11 +44,18 @@ type MDES struct {
 	// TotalArea is the area actually consumed (after sharing discounts).
 	TotalArea float64   `json:"total_area"`
 	CFUs      []CFUSpec `json:"cfus"`
+	// Truncated reports that an anytime budget (exploration deadline,
+	// cancellation, or candidate cap) expired while this MDES was being
+	// generated: the CFU set is valid and budget-respecting, but built from
+	// the candidates found before the cutoff rather than an exhaustive
+	// search. Omitted from JSON when false, so untruncated descriptions are
+	// byte-identical to those of earlier versions.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // FromSelection converts a selection into an MDES.
 func FromSelection(source string, budget float64, sel *cfu.Selection) *MDES {
-	m := &MDES{Source: source, Budget: budget, TotalArea: sel.TotalArea}
+	m := &MDES{Source: source, Budget: budget, TotalArea: sel.TotalArea, Truncated: sel.Truncated}
 	for i, c := range sel.CFUs {
 		m.CFUs = append(m.CFUs, CFUSpec{
 			Name:           c.Name(),
