@@ -22,6 +22,7 @@ import (
 // examined for blowfish under naive exponential growth versus the guide
 // function heuristic.
 func BenchmarkFig3Exploration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := experiment.NewHarness()
 		st, err := h.Fig3("blowfish", 0)

@@ -31,6 +31,7 @@ func main() {
 	out := flag.String("o", "", "output MDES path (default stdout)")
 	maxIn := flag.Int("maxin", 5, "max CFU input ports")
 	maxOut := flag.Int("maxout", 3, "max CFU output ports")
+	jobs := flag.Int("j", 1, "worker goroutines for block-level exploration (output is identical at every setting)")
 	deadline := flag.Duration("deadline", 0, "exploration wall-clock budget (0 = none); on expiry the best-so-far candidates are selected and the MDES is tagged truncated")
 	maxCands := flag.Int("max-candidates", 0, "cap on candidate subgraphs recorded (0 = unlimited); hitting it tags the MDES truncated")
 	hwPath := flag.String("hwlib", "", "JSON hardware library (default: built-in 0.18u calibration)")
@@ -58,6 +59,7 @@ func main() {
 	cfg.Constraints.MaxOutputs = *maxOut
 	cfg.ExploreDeadline = *deadline
 	cfg.MaxCandidates = *maxCands
+	cfg.Workers = *jobs
 	cfg.Lib, err = hwlib.LoadOrDefault(openFile, *hwPath)
 	if err != nil {
 		log.Fatal(err)

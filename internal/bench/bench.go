@@ -1,0 +1,177 @@
+// Package bench parses `go test -bench` output and compares it against a
+// committed baseline, so CI can fail on performance regressions without
+// any external tooling. Only the three standard metrics are tracked:
+// ns/op, B/op, and allocs/op. The latter two are machine-independent (the
+// allocator's behavior is deterministic for a deterministic workload), so
+// they can be held to a tight tolerance across heterogeneous CI hardware;
+// wall-clock needs a looser one.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's tracked numbers. A zero field means the
+// metric was absent from the run (e.g. -benchmem off).
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Result maps benchmark name (GOMAXPROCS suffix stripped) to its metrics.
+type Result map[string]Metrics
+
+// suffixRE strips the -N GOMAXPROCS suffix go test appends to benchmark
+// names, so baselines recorded on one machine match runs on another.
+var suffixRE = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output. Lines that are not benchmark
+// results (headers, PASS, ok, custom-metric-only noise) are skipped.
+// A benchmark appearing several times (multiple -count runs) keeps the
+// last occurrence.
+func Parse(r io.Reader) (Result, error) {
+	res := make(Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := suffixRE.ReplaceAllString(fields[0], "")
+		var m Metrics
+		// fields[1] is the iteration count; the rest are "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %q: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		res[name] = m
+	}
+	return res, sc.Err()
+}
+
+// Tolerance is the allowed relative growth per metric: 0.10 means a new
+// value up to 10% above baseline passes.
+type Tolerance struct {
+	// Time applies to ns/op (loose: wall-clock varies across machines).
+	Time float64
+	// Alloc applies to B/op and allocs/op (tight: machine-independent).
+	Alloc float64
+}
+
+// Regression is one metric of one benchmark exceeding its tolerance.
+type Regression struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Limit    float64 `json:"limit"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.0f vs baseline %.0f (limit %.0f)",
+		r.Name, r.Metric, r.Current, r.Baseline, r.Limit)
+}
+
+// Compare checks every baseline benchmark against the run. Benchmarks in
+// the run but absent from the baseline are ignored (new benchmarks don't
+// break CI); benchmarks in the baseline but absent from the run are
+// returned as missing (coverage must not silently shrink). A baseline
+// metric of zero is not enforced.
+func Compare(base, got Result, tol Tolerance) (regs []Regression, missing []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		g, ok := got[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		check := func(metric string, bv, gv, tolerance float64) {
+			if bv <= 0 {
+				return
+			}
+			limit := bv * (1 + tolerance)
+			if gv > limit {
+				regs = append(regs, Regression{Name: name, Metric: metric, Baseline: bv, Current: gv, Limit: limit})
+			}
+		}
+		check("ns/op", b.NsPerOp, g.NsPerOp, tol.Time)
+		check("B/op", b.BytesPerOp, g.BytesPerOp, tol.Alloc)
+		check("allocs/op", b.AllocsPerOp, g.AllocsPerOp, tol.Alloc)
+	}
+	return regs, missing
+}
+
+// Entry is one benchmark's row in the comparison report.
+type Entry struct {
+	Baseline Metrics `json:"baseline"`
+	Current  Metrics `json:"current"`
+	// Speedup is baseline/current wall-clock (>1 = faster now).
+	Speedup float64 `json:"speedup,omitempty"`
+	// AllocReduction is baseline/current allocs/op (>1 = fewer now).
+	AllocReduction float64 `json:"alloc_reduction,omitempty"`
+}
+
+// Report pairs every baseline benchmark found in the run with its current
+// numbers and the improvement ratios.
+func Report(base, got Result) map[string]Entry {
+	out := make(map[string]Entry)
+	for name, b := range base {
+		g, ok := got[name]
+		if !ok {
+			continue
+		}
+		e := Entry{Baseline: b, Current: g}
+		if b.NsPerOp > 0 && g.NsPerOp > 0 {
+			e.Speedup = b.NsPerOp / g.NsPerOp
+		}
+		if b.AllocsPerOp > 0 && g.AllocsPerOp > 0 {
+			e.AllocReduction = b.AllocsPerOp / g.AllocsPerOp
+		}
+		out[name] = e
+	}
+	return out
+}
+
+// WriteJSON emits v as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// ReadBaseline loads a committed baseline file.
+func ReadBaseline(r io.Reader) (Result, error) {
+	var res Result
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, fmt.Errorf("bench: baseline: %w", err)
+	}
+	return res, nil
+}

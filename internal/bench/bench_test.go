@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig3Exploration-8 	       2	 677328306 ns/op	      7341 guided-candidates-size<=6	        13.00 guided-max-size	301386324 B/op	 1616590 allocs/op
+BenchmarkParallelSweep/j=1         	       2	 842308933 ns/op	         0.9992 effective-parallelism	438014788 B/op	 1465871 allocs/op
+PASS
+ok  	repro	7.142s
+`
+
+func TestParse(t *testing.T) {
+	res, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3, ok := res["BenchmarkFig3Exploration"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", res)
+	}
+	if fig3.NsPerOp != 677328306 || fig3.BytesPerOp != 301386324 || fig3.AllocsPerOp != 1616590 {
+		t.Fatalf("Fig3 metrics wrong: %+v", fig3)
+	}
+	// Custom metrics (guided-candidates-size<=6 etc.) must not clobber the
+	// standard ones, and the sub-benchmark name must survive intact.
+	if _, ok := res["BenchmarkParallelSweep/j=1"]; !ok {
+		t.Fatalf("sub-benchmark missing: %v", res)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Result{
+		"A": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		"B": {NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		"C": {NsPerOp: 100},
+	}
+	got := Result{
+		"A": {NsPerOp: 150, BytesPerOp: 1050, AllocsPerOp: 10}, // ns within loose tol, B/op within 10%
+		"B": {NsPerOp: 100, BytesPerOp: 1200, AllocsPerOp: 12}, // both alloc metrics regressed
+		// C missing from the run entirely.
+		"D": {NsPerOp: 1}, // extra benchmarks are ignored
+	}
+	regs, missing := Compare(base, got, Tolerance{Time: 1.0, Alloc: 0.10})
+	if len(missing) != 1 || missing[0] != "C" {
+		t.Fatalf("missing = %v, want [C]", missing)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want B/op and allocs/op of B", regs)
+	}
+	for _, r := range regs {
+		if r.Name != "B" {
+			t.Fatalf("unexpected regression %v", r)
+		}
+	}
+	// A zero-valued baseline metric is not enforced.
+	regs, _ = Compare(Result{"A": {NsPerOp: 100}}, Result{"A": {NsPerOp: 100, AllocsPerOp: 5}}, Tolerance{})
+	if len(regs) != 0 {
+		t.Fatalf("zero baseline enforced: %v", regs)
+	}
+}
+
+func TestReportRatios(t *testing.T) {
+	base := Result{"A": {NsPerOp: 200, AllocsPerOp: 30}}
+	got := Result{"A": {NsPerOp: 100, AllocsPerOp: 10}}
+	rep := Report(base, got)
+	e := rep["A"]
+	if e.Speedup != 2 || e.AllocReduction != 3 {
+		t.Fatalf("ratios wrong: %+v", e)
+	}
+}

@@ -1,0 +1,92 @@
+// Command benchguard compares `go test -bench` output against a committed
+// baseline and exits nonzero on regression, replacing an external
+// benchstat dependency in CI.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... > bench.out
+//	benchguard -baseline internal/bench/baseline.json -o BENCH.json bench.out
+//
+// B/op and allocs/op are enforced at a tight tolerance (default 10%):
+// they are machine-independent, so any growth is a real regression.
+// ns/op gets a looser default because CI hardware is heterogeneous; pass
+// -time-tol 0.10 for strict same-machine comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	basePath := flag.String("baseline", "", "committed baseline JSON (required)")
+	out := flag.String("o", "", "write a JSON comparison report (baseline, current, ratios) to this path")
+	timeTol := flag.Float64("time-tol", 1.0, "allowed relative ns/op growth (1.0 = +100%)")
+	allocTol := flag.Float64("alloc-tol", 0.10, "allowed relative B/op and allocs/op growth (0.10 = +10%)")
+	flag.Parse()
+	if *basePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	bf, err := os.Open(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := bench.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		var readers []io.Reader
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	got, err := bench.Parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(got) == 0 {
+		log.Fatal("no benchmark results in input")
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.WriteJSON(f, bench.Report(base, got)); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	regs, missing := bench.Compare(base, got, bench.Tolerance{Time: *timeTol, Alloc: *allocTol})
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "MISSING  %s (in baseline, not in run)\n", name)
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSED  %s\n", r)
+	}
+	if len(regs) > 0 || len(missing) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ok: %d benchmarks within tolerance of baseline\n", len(base))
+}

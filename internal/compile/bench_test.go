@@ -21,6 +21,7 @@ func BenchmarkCompileRawdaudio(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Compile(bench.Program, m, Options{}); err != nil {
@@ -45,6 +46,7 @@ func BenchmarkCompileWithGeneralizations(b *testing.B) {
 		b.Fatal(err)
 	}
 	var keep *mdes.MDES = m
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Compile(bench.Program, keep, Options{UseVariants: true, UseOpcodeClasses: true}); err != nil {

@@ -107,8 +107,9 @@ func Compile(p *ir.Program, m *mdes.MDES, opts Options) (*ir.Program, *Report, e
 
 	classOf := func(c ir.Opcode) uint8 { return uint8(lib.ClassOf(c)) }
 	endMatch := opts.Telemetry.StartSpan("compile.match")
+	var mstats graph.MatchStats
 	for _, b := range out.Blocks {
-		exact, variant, err := customizeBlock(b, m, opMatch, classOf, opts.UseVariants, rep.PerCFU)
+		exact, variant, err := customizeBlock(b, m, opMatch, classOf, opts.UseVariants, rep.PerCFU, &mstats)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -119,6 +120,8 @@ func Compile(p *ir.Program, m *mdes.MDES, opts Options) (*ir.Program, *Report, e
 	opts.Telemetry.Add("compile.replacements.exact", int64(rep.ExactReplacements))
 	opts.Telemetry.Add("compile.replacements.variant", int64(rep.VariantReplacements))
 	opts.Telemetry.Add("compile.blocks", int64(len(out.Blocks)))
+	opts.Telemetry.Add("match.seeds.considered", mstats.SeedsConsidered)
+	opts.Telemetry.Add("match.seeds.filtered", mstats.SeedsFiltered)
 
 	// Cycle accounting: schedule baseline and customized programs.
 	endSched := opts.Telemetry.StartSpan("compile.schedule")
@@ -160,7 +163,7 @@ func Compile(p *ir.Program, m *mdes.MDES, opts Options) (*ir.Program, *Report, e
 // order, then subsumed variants — so exact uses of the hardware win
 // contested operations, mirroring the hardware compiler's desirability
 // ordering.
-func customizeBlock(b *ir.Block, m *mdes.MDES, opMatch func(ir.Opcode, ir.Opcode) bool, classOf func(ir.Opcode) uint8, useVariants bool, perCFU map[string]int) (exact, variant int, err error) {
+func customizeBlock(b *ir.Block, m *mdes.MDES, opMatch func(ir.Opcode, ir.Opcode) bool, classOf func(ir.Opcode) uint8, useVariants bool, perCFU map[string]int, mstats *graph.MatchStats) (exact, variant int, err error) {
 	claimed := make(map[int]bool) // op IDs absorbed into custom instructions
 
 	type patref struct {
@@ -186,6 +189,12 @@ func customizeBlock(b *ir.Block, m *mdes.MDES, opMatch func(ir.Opcode, ir.Opcode
 		}
 	}
 
+	// The DFG depends only on the block, which changes only inside
+	// replaceMatch — so analyze once up front and re-analyze only after a
+	// successful replacement, instead of on every pattern probe. This is
+	// the dominant cost of a compile: most probes find nothing.
+	d := ir.Analyze(b)
+	notClaimed := func(i int) bool { return !claimed[b.Ops[i].ID] }
 	for _, pass := range passes {
 		for _, pr := range pass {
 			// Replace one match at a time, re-deriving the DFG after each
@@ -193,13 +202,12 @@ func customizeBlock(b *ir.Block, m *mdes.MDES, opMatch func(ir.Opcode, ir.Opcode
 			// can still form a dependence cycle between the collapsed
 			// nodes, so sequential replacement is required for safety.
 			for {
-				d := ir.Analyze(b)
-				notClaimed := func(i int) bool { return !claimed[b.Ops[i].ID] }
 				ms := graph.FindMatches(d, pr.shape, graph.MatchOptions{
 					OpMatch:    opMatch,
 					ClassOf:    classOf,
 					OpAllowed:  notClaimed,
 					MaxMatches: 1,
+					Stats:      mstats,
 				})
 				if len(ms) == 0 {
 					break
@@ -212,6 +220,7 @@ func customizeBlock(b *ir.Block, m *mdes.MDES, opMatch func(ir.Opcode, ir.Opcode
 				if err := replaceMatch(b, d, pr.shape, match, ci); err != nil {
 					return exact, variant, err
 				}
+				d = ir.Analyze(b)
 				perCFU[pr.spec.Name]++
 				if pr.isExact {
 					exact++

@@ -37,7 +37,13 @@ func replaceMatch(b *ir.Block, d *ir.DFG, pattern *graph.Shape, m graph.Match, c
 			custom.Dests[k] = op.Dest
 		}
 	}
-	inSet := func(i int) bool { return m.Set.Has(i) }
+	inSetArr := make([]bool, n)
+	for i := range m.Set {
+		if i >= 0 && i < n {
+			inSetArr[i] = true
+		}
+	}
+	inSet := func(i int) bool { return inSetArr[i] }
 	for i, op := range b.Ops {
 		if i < n && inSet(i) || op == custom {
 			continue
@@ -63,33 +69,53 @@ func replaceMatch(b *ir.Block, d *ir.DFG, pattern *graph.Shape, m graph.Match, c
 	// Edges: original edges between non-members; member edges redirect to
 	// the custom node. Original position breaks ties, so operations keep
 	// their order unless correctness forces a move.
-	type nodeID = int
-	const customNode = -1
-	pos := func(id nodeID) int {
+	//
+	// Node ids are op indices 0..n-1 plus id n for the custom node, so the
+	// whole ordering runs on flat slices. Edges between two non-members are
+	// already unique (d.Preds holds each pred once); only edges touching
+	// the collapsed custom node can repeat, so two boolean sides dedup them.
+	customNode := n
+	firstMember := n
+	for i := range m.Set {
+		if i < firstMember {
+			firstMember = i
+		}
+	}
+	pos := func(id int) int {
 		if id == customNode {
 			// The custom op inherits the position of its first member so
 			// the linear order changes minimally.
-			first := n
-			for i := range m.Set {
-				if i < first {
-					first = i
-				}
-			}
-			return first
+			return firstMember
 		}
 		return id
 	}
-	preds := make(map[nodeID]map[nodeID]bool)
-	addEdge := func(from, to nodeID) {
+	buf32 := make([]int32, 2*(n+1))
+	indeg := buf32[: n+1 : n+1]
+	succCnt := buf32[n+1:]
+	flags := make([]bool, 2*n+1)
+	intoCustom := flags[:n:n] // non-member p already has edge p -> custom
+	fromCustom := flags[n:]   // target already has edge custom -> target
+	edges := make([]int64, 0, 4*n)
+	addEdge := func(from, to int) {
 		if from == to {
 			return
 		}
-		if preds[to] == nil {
-			preds[to] = make(map[nodeID]bool)
+		if to == customNode {
+			if intoCustom[from] {
+				return
+			}
+			intoCustom[from] = true
+		} else if from == customNode {
+			if fromCustom[to] {
+				return
+			}
+			fromCustom[to] = true
 		}
-		preds[to][from] = true
+		indeg[to]++
+		succCnt[from]++
+		edges = append(edges, int64(from)<<32|int64(to))
 	}
-	mapNode := func(i int) nodeID {
+	mapNode := func(i int) int {
 		if inSet(i) {
 			return customNode
 		}
@@ -100,8 +126,20 @@ func replaceMatch(b *ir.Block, d *ir.DFG, pattern *graph.Shape, m graph.Match, c
 			addEdge(mapNode(p), mapNode(i))
 		}
 	}
+	// Successor lists carved from one backing array; appends below stay
+	// within the per-node capacity windows and cannot allocate.
+	succFlat := make([]int32, len(edges))
+	succs := make([][]int32, n+1)
+	so := 0
+	for i := 0; i <= n; i++ {
+		succs[i] = succFlat[so:so : so+int(succCnt[i])]
+		so += int(succCnt[i])
+	}
+	for _, e := range edges {
+		succs[e>>32] = append(succs[e>>32], int32(e&0xFFFFFFFF))
+	}
 
-	var nodes []nodeID
+	nodes := make([]int, 0, n+1-len(m.Set))
 	for i := 0; i < n; i++ {
 		if !inSet(i) {
 			nodes = append(nodes, i)
@@ -110,21 +148,13 @@ func replaceMatch(b *ir.Block, d *ir.DFG, pattern *graph.Shape, m graph.Match, c
 	nodes = append(nodes, customNode)
 
 	// Kahn's algorithm with position-ordered ready set.
-	indeg := make(map[nodeID]int, len(nodes))
-	succs := make(map[nodeID][]nodeID)
-	for _, id := range nodes {
-		indeg[id] = len(preds[id])
-		for p := range preds[id] {
-			succs[p] = append(succs[p], id)
-		}
-	}
-	var ready []nodeID
+	ready := make([]int, 0, len(nodes))
 	for _, id := range nodes {
 		if indeg[id] == 0 {
 			ready = append(ready, id)
 		}
 	}
-	var order []nodeID
+	order := make([]int, 0, len(nodes))
 	for len(ready) > 0 {
 		// Pick the ready node with the smallest original position.
 		bi := 0
@@ -139,7 +169,7 @@ func replaceMatch(b *ir.Block, d *ir.DFG, pattern *graph.Shape, m graph.Match, c
 		for _, s := range succs[id] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				ready = append(ready, s)
+				ready = append(ready, int(s))
 			}
 		}
 	}

@@ -67,6 +67,11 @@ type Config struct {
 	// MaxExamined overrides the per-block subgraph-visit safety valve (0 =
 	// the explorer's default of 200000).
 	MaxExamined int
+	// Workers bounds the goroutines exploring one program's blocks
+	// concurrently (0 or 1 = serial). Results are merged in block order,
+	// so output is identical at every setting; exploration falls back to
+	// serial while an anytime budget is active.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +146,7 @@ func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
 	if cfg.Fanout != nil {
 		ecfg.Fanout = cfg.Fanout
 	}
+	ecfg.Workers = cfg.Workers
 	res := explore.Explore(p, ecfg)
 	cands, ctrunc := cfu.CombinePartial(res, cfg.Lib, cfu.CombineOptions{Telemetry: cfg.Telemetry, Ctx: cfg.Ctx})
 	if cfg.MultiFunction {

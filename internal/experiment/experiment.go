@@ -81,6 +81,12 @@ type Harness struct {
 	selLocks map[string]*sync.Mutex
 	// jobNanos accumulates per-job wall time for the speedup report.
 	jobNanos atomic.Int64
+	// tokens is the shared worker-token pool (lazily sized to workers()):
+	// sweep pool workers each hold one token while running, and exploration
+	// spawns extra per-block workers only against the leftover tokens, so
+	// the two levels of parallelism together never exceed the -j budget.
+	tokensOnce sync.Once
+	tokens     *explore.Tokens
 }
 
 // mdesKey identifies one selection: an application's candidates spent at
@@ -152,6 +158,7 @@ func (h *Harness) candidatesFull(name string) (candSet, error) {
 		if h.MaxCandidates > 0 {
 			cfg.MaxCandidates = h.MaxCandidates
 		}
+		h.exploreParallel(&cfg)
 		res := explore.Explore(b.Program, cfg)
 		cfus, ctrunc := cfu.CombinePartial(res, h.Lib, cfu.CombineOptions{Telemetry: h.Telemetry, Ctx: h.Ctx})
 		return candSet{cfus: cfus, truncated: res.Stats.Truncated || ctrunc}, nil
@@ -475,8 +482,11 @@ func (h *Harness) LimitStudy(apps []string) ([]*LimitResult, error) {
 		relaxed.OvershootIO = 8
 		relaxed.Fanout = explore.UniformFanout(2)
 		relaxed.MaxExamined = 60000
+		h.exploreParallel(&relaxed)
 		res := explore.Explore(b.Program, relaxed)
-		base := explore.Explore(b.Program, explore.DefaultConfig(h.Lib))
+		bcfg := explore.DefaultConfig(h.Lib)
+		h.exploreParallel(&bcfg)
+		base := explore.Explore(b.Program, bcfg)
 		res.Candidates = append(res.Candidates, base.Candidates...)
 
 		// The unconstrained pool is local to this job, so no select lock.
@@ -525,10 +535,12 @@ func (h *Harness) Fig3(app string, budget int) (*ExplorationStats, error) {
 	}
 	gcfg := explore.DefaultConfig(h.Lib)
 	gcfg.MaxExamined = budget
+	h.exploreParallel(&gcfg)
 	guided := explore.Explore(b.Program, gcfg)
 	ncfg := explore.DefaultConfig(h.Lib)
 	ncfg.Naive = true
 	ncfg.MaxExamined = budget
+	h.exploreParallel(&ncfg)
 	naive := explore.Explore(b.Program, ncfg)
 
 	st := &ExplorationStats{
@@ -692,6 +704,7 @@ func (h *Harness) MemoryCFUStudy(apps []string, budget float64) ([]*MemoryCFURes
 			return nil, err
 		}
 		cfg := explore.DefaultConfig(memLib)
+		h.exploreParallel(&cfg)
 		res := explore.Explore(b.Program, cfg)
 		cands := cfu.Combine(res, memLib, cfu.CombineOptions{})
 		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Lib: memLib})
@@ -746,6 +759,7 @@ func (h *Harness) UnrollStudy(app string, factors []int, budget float64) ([]*Unr
 		if h.ExploreConfig != nil {
 			cfg = *h.ExploreConfig
 		}
+		h.exploreParallel(&cfg)
 		res := explore.Explore(up, cfg)
 		cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{})
 		sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Lib: h.Lib})
@@ -823,6 +837,7 @@ func (h *Harness) GuideWeightAblation(app string) ([]*GuideAblation, error) {
 	for _, c := range cases {
 		cfg := explore.DefaultConfig(h.Lib)
 		cfg.Weights = c.Weights
+		h.exploreParallel(&cfg)
 		res := explore.Explore(b.Program, cfg)
 		c.Examined = res.Stats.Examined
 		cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{})

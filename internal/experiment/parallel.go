@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/explore"
 )
 
 // PanicError is a panic caught at a pipeline fault boundary (a parallelFor
@@ -47,6 +49,25 @@ func (h *Harness) workers() int {
 		return h.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// exploreTokens returns the shared worker-token pool, sized to the -j
+// budget on first use (so Parallelism must be set before the first run,
+// like the other configuration fields).
+func (h *Harness) exploreTokens() *explore.Tokens {
+	h.tokensOnce.Do(func() { h.tokens = explore.NewTokens(h.workers()) })
+	return h.tokens
+}
+
+// exploreParallel stamps the intra-benchmark parallelism budget onto an
+// exploration config: up to workers() block workers, the extras drawing
+// from the shared token pool so benchmark-level and block-level
+// parallelism never oversubscribe -j. Explore ignores the setting when an
+// anytime budget is active (parallel block order would perturb which
+// subgraphs a global budget admits).
+func (h *Harness) exploreParallel(cfg *explore.Config) {
+	cfg.Workers = h.workers()
+	cfg.Spare = h.exploreTokens()
 }
 
 // parallelFor runs fn(i) for every i in [0, n), fanning the indices out
@@ -111,11 +132,20 @@ func (h *Harness) parallelForAll(n int, jobName func(i int) string, fn func(i in
 		}
 	} else {
 		next := int64(-1)
+		tok := h.exploreTokens()
 		var wg sync.WaitGroup
 		for k := 0; k < w; k++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Each pool worker holds one token from the shared -j
+				// budget while it runs, so intra-benchmark explore workers
+				// can only use the budget this fan-out leaves idle. The
+				// acquire is non-blocking and the worker runs regardless
+				// (progress over strictness if harnesses run concurrently).
+				if tok.TryAcquire() {
+					defer tok.Release()
+				}
 				for {
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= n {

@@ -16,7 +16,10 @@ package explore
 import (
 	"context"
 	"math"
+	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hwlib"
@@ -122,6 +125,18 @@ type Config struct {
 	// Telemetry, when non-nil, receives the exploration span and the
 	// examined/pruned/recorded counters.
 	Telemetry *telemetry.Registry
+	// Workers bounds the number of goroutines exploring one program's
+	// blocks concurrently (0 or 1 = serial). Per-block results are merged
+	// in block order, so the output is byte-identical at every setting.
+	// Anytime budgets (Ctx/Deadline/MaxCandidates) force a serial run:
+	// cross-block truncation points stay deterministic that way.
+	Workers int
+	// Spare, when non-nil, gates the extra block workers: each one must
+	// win a token from this pool for its lifetime. The experiment harness
+	// hands its own worker pool here so the two parallelism levels share
+	// one -j budget instead of oversubscribing. nil means Workers is the
+	// only bound.
+	Spare *Tokens
 
 	// Ctx, when non-nil, lets the caller cancel exploration; the run stops
 	// at the next budget check and returns its best-so-far candidates with
@@ -185,6 +200,12 @@ type Stats struct {
 	// TruncatedBy names the exhausted budget: "deadline", "canceled", or
 	// "max-candidates".
 	TruncatedBy string
+	// PoolHits and PoolMisses count work-item allocations served from the
+	// per-block freelist versus fresh from the heap.
+	PoolHits, PoolMisses int64
+	// VisitedCollisions counts hash-probe steps over non-matching entries
+	// in the visited-subgraph set.
+	VisitedCollisions int64
 }
 
 // Result is the output of exploring one program.
@@ -257,7 +278,10 @@ func (bud *budget) exhausted(res *Result) bool {
 
 // Explore runs the space explorer over every block of p. With an anytime
 // budget configured (Ctx, Deadline, or MaxCandidates) it may stop early,
-// returning best-so-far candidates with Stats.Truncated set.
+// returning best-so-far candidates with Stats.Truncated set. With
+// cfg.Workers > 1 and no budget, blocks are explored concurrently and the
+// per-block results merged in block order, which is byte-identical to the
+// serial run.
 func Explore(p *ir.Program, cfg Config) *Result {
 	defer cfg.Telemetry.StartSpan("explore")()
 	res := &Result{Stats: Stats{BySize: make(map[int]int)}}
@@ -265,11 +289,21 @@ func Explore(p *ir.Program, cfg Config) *Result {
 	if bud != nil && bud.cancel != nil {
 		defer bud.cancel()
 	}
+	nonEmpty := 0
 	for _, b := range p.Blocks {
-		if bud.exhausted(res) {
-			break
+		if len(b.Ops) > 0 {
+			nonEmpty++
 		}
-		exploreBlock(b, cfg, res, bud)
+	}
+	if bud == nil && cfg.Workers > 1 && nonEmpty > 1 {
+		exploreBlocksParallel(p.Blocks, cfg, res)
+	} else {
+		for _, b := range p.Blocks {
+			if bud.exhausted(res) {
+				break
+			}
+			exploreBlock(b, cfg, res, bud)
+		}
 	}
 	// Candidate counts before/after guide pruning: every examined subgraph
 	// plus every pruned direction is a candidate the naive search would
@@ -277,10 +311,92 @@ func Explore(p *ir.Program, cfg Config) *Result {
 	cfg.Telemetry.Add("explore.subgraphs.examined", int64(res.Stats.Examined))
 	cfg.Telemetry.Add("explore.directions.pruned", int64(res.Stats.PrunedDirections))
 	cfg.Telemetry.Add("explore.candidates.recorded", int64(res.Stats.Recorded))
+	cfg.Telemetry.Add("explore.pool.hits", res.Stats.PoolHits)
+	cfg.Telemetry.Add("explore.pool.misses", res.Stats.PoolMisses)
+	cfg.Telemetry.Add("explore.visited.collisions", res.Stats.VisitedCollisions)
 	if res.Stats.Truncated {
 		cfg.Telemetry.Add("explore.truncated", 1)
 	}
 	return res
+}
+
+// exploreBlocksParallel fans the blocks out over a small worker group: the
+// calling goroutine plus up to Workers-1 extras, each extra gated by a
+// token from cfg.Spare (when set) so the harness's -j budget is shared, not
+// multiplied. Every block gets a private Result; the merge concatenates
+// them in block order, making the output independent of scheduling. A
+// panicking block re-panics here (lowest block index first, matching the
+// serial run) after all workers have drained, for the caller's panic fence
+// to convert.
+func exploreBlocksParallel(blocks []*ir.Block, cfg Config, res *Result) {
+	n := len(blocks)
+	results := make([]*Result, n)
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panics[i] = r
+						panicked.Store(true)
+					}
+				}()
+				r := &Result{Stats: Stats{BySize: make(map[int]int)}}
+				exploreBlock(blocks[i], cfg, r, nil)
+				results[i] = r
+			}()
+		}
+	}
+	extra := cfg.Workers - 1
+	if extra > n-1 {
+		extra = n - 1
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < extra; k++ {
+		release := func() {}
+		if cfg.Spare != nil {
+			if !cfg.Spare.TryAcquire() {
+				break
+			}
+			release = cfg.Spare.Release
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	if panicked.Load() {
+		for _, pv := range panics {
+			if pv != nil {
+				panic(pv)
+			}
+		}
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		res.Candidates = append(res.Candidates, r.Candidates...)
+		res.Stats.Examined += r.Stats.Examined
+		res.Stats.PrunedDirections += r.Stats.PrunedDirections
+		res.Stats.Recorded += r.Stats.Recorded
+		res.Stats.PoolHits += r.Stats.PoolHits
+		res.Stats.PoolMisses += r.Stats.PoolMisses
+		res.Stats.VisitedCollisions += r.Stats.VisitedCollisions
+		for s, c := range r.Stats.BySize {
+			res.Stats.BySize[s] += c
+		}
+	}
 }
 
 // ExploreBlock runs the space explorer over a single block.
@@ -314,6 +430,15 @@ type blockCtx struct {
 	delay     []float64
 
 	scratch []float64 // longest-path workspace
+
+	nv int // value-space width (ops then regs); argUnion bitset width
+
+	// free is the work-item freelist. One blockCtx is owned by exactly one
+	// goroutine (block parallelism is across blockCtxs), so a plain slice
+	// beats sync.Pool: no atomics, and items never migrate between blocks
+	// of different widths.
+	free                 []*workItem
+	poolHits, poolMisses int64
 }
 
 func newBlockCtx(b *ir.Block, lib *hwlib.Library) *blockCtx {
@@ -344,6 +469,7 @@ func newBlockCtx(b *ir.Block, lib *hwlib.Library) *blockCtx {
 		}
 	}
 	nv := n + len(regID)
+	c.nv = nv
 	for i, op := range b.Ops {
 		if lib.Allowed(op.Code) {
 			c.allowed.set(i)
@@ -394,9 +520,13 @@ func newBlockCtx(b *ir.Block, lib *hwlib.Library) *blockCtx {
 }
 
 // workItem is one candidate subgraph with incrementally maintained state.
+// Items are recycled through the blockCtx freelist: every buffer is a
+// fixed-width bitset (or a length-reset slice), so alloc/release reuse the
+// same backing arrays for the whole block exploration.
 type workItem struct {
 	set      bitset
-	members  []int // ascending op indices (block order is topological)
+	members  []int     // ascending op indices (block order is topological)
+	depths   []float64 // internal critical-path depth per member, parallel to members
 	argUnion bitset
 	nbrUnion bitset
 	area     float64
@@ -404,44 +534,152 @@ type workItem struct {
 	in, out  int
 }
 
-// grow returns cur extended with op nb, recomputing the derived fields.
+// alloc returns a work item with buffers sized for this block, recycled
+// from the freelist when possible. Buffer contents are undefined; grow and
+// seed overwrite every word.
+func (c *blockCtx) alloc() *workItem {
+	if k := len(c.free); k > 0 {
+		w := c.free[k-1]
+		c.free = c.free[:k-1]
+		c.poolHits++
+		return w
+	}
+	c.poolMisses++
+	return &workItem{
+		set:      newBitset(c.n),
+		argUnion: newBitset(c.nv),
+		nbrUnion: newBitset(c.n),
+	}
+}
+
+// release returns a work item to the freelist. The caller must not use it
+// afterwards: recorded candidates and the visited set copy what they keep,
+// so nothing retains the buffers.
+func (c *blockCtx) release(w *workItem) {
+	c.free = append(c.free, w)
+}
+
+// grow returns cur extended with op nb, maintaining the derived fields
+// incrementally instead of recomputing them from scratch:
+//
+//   - members/depths: nb is spliced into the ascending member list. Block
+//     order is topological, so members before the insertion point cannot
+//     depend on nb and keep their depths; members after it are recomputed
+//     only when nb actually feeds the set (userMask test), otherwise copied.
+//   - in: fused into the argUnion copy — popcount of (argUnion &^ set).
+//   - out: starts from cur.out; only nb and its in-set data predecessors
+//     can change output-ness, because adding nb alters "has a consumer
+//     outside the set" for exactly the ops nb consumes.
 func (c *blockCtx) grow(cur *workItem, nb int) *workItem {
-	w := &workItem{
-		set:      cur.set.clone(),
-		argUnion: cur.argUnion.clone(),
-		nbrUnion: cur.nbrUnion.clone(),
-		area:     cur.area + c.area[nb],
-	}
+	w := c.alloc()
+	copy(w.set, cur.set)
 	w.set.set(nb)
-	w.argUnion.orInto(c.argVals[nb])
+	copy(w.nbrUnion, cur.nbrUnion)
 	w.nbrUnion.orInto(c.nbrMask[nb])
-	w.members = make([]int, 0, len(cur.members)+1)
-	inserted := false
-	for _, m := range cur.members {
-		if !inserted && nb < m {
-			w.members = append(w.members, nb)
-			inserted = true
+	w.area = cur.area + c.area[nb]
+
+	// argUnion and the input-port count in one pass. Register-value bits
+	// live above the op bits, so masking with set only clears op values
+	// produced inside the candidate.
+	in := 0
+	av := c.argVals[nb]
+	for i := range w.argUnion {
+		u := cur.argUnion[i] | av[i]
+		w.argUnion[i] = u
+		if i < len(w.set) {
+			u &^= w.set[i]
 		}
-		w.members = append(w.members, m)
+		in += bits.OnesCount64(u)
 	}
-	if !inserted {
-		w.members = append(w.members, nb)
+	w.in = in
+
+	// Members, depths, and internal latency.
+	ins := len(cur.members)
+	for k, m := range cur.members {
+		if nb < m {
+			ins = k
+			break
+		}
 	}
-	w.latency = c.longestPath(w)
-	w.in, w.out = c.numIO(w)
+	w.members = append(w.members[:0], cur.members[:ins]...)
+	w.depths = append(w.depths[:0], cur.depths[:ins]...)
+	lat := 0.0
+	for k := 0; k < ins; k++ {
+		c.scratch[cur.members[k]] = cur.depths[k]
+		if cur.depths[k] > lat {
+			lat = cur.depths[k]
+		}
+	}
+	best := 0.0
+	for _, p := range c.dataPreds[nb] {
+		if w.set.has(p) && c.scratch[p] > best {
+			best = c.scratch[p]
+		}
+	}
+	dnb := best + c.delay[nb]
+	c.scratch[nb] = dnb
+	w.members = append(w.members, nb)
+	w.depths = append(w.depths, dnb)
+	if dnb > lat {
+		lat = dnb
+	}
+	if ins < len(cur.members) && c.userMask[nb].intersects(w.set) {
+		// nb feeds at least one member after it: recompute the suffix.
+		for k := ins; k < len(cur.members); k++ {
+			m := cur.members[k]
+			b := 0.0
+			for _, p := range c.dataPreds[m] {
+				if w.set.has(p) && c.scratch[p] > b {
+					b = c.scratch[p]
+				}
+			}
+			dm := b + c.delay[m]
+			c.scratch[m] = dm
+			w.members = append(w.members, m)
+			w.depths = append(w.depths, dm)
+			if dm > lat {
+				lat = dm
+			}
+		}
+	} else {
+		for k := ins; k < len(cur.members); k++ {
+			w.members = append(w.members, cur.members[k])
+			w.depths = append(w.depths, cur.depths[k])
+			if cur.depths[k] > lat {
+				lat = cur.depths[k]
+			}
+		}
+	}
+	w.latency = lat
+
+	// Output ports: a data predecessor of nb inside the set loses its
+	// output-ness when nb was its last outside consumer; nb itself is an
+	// output when its value escapes or is consumed outside the set.
+	out := cur.out
+	for _, p := range c.dataPreds[nb] {
+		if w.set.has(p) && !c.escapes[p] && c.userMask[p].andNotCount(w.set) == 0 {
+			out--
+		}
+	}
+	if c.escapes[nb] || c.userMask[nb].andNotCount(w.set) > 0 {
+		out++
+	}
+	w.out = out
 	return w
 }
 
 func (c *blockCtx) seed(i int) *workItem {
-	w := &workItem{
-		set:      newBitset(c.n),
-		members:  []int{i},
-		argUnion: c.argVals[i].clone(),
-		nbrUnion: c.nbrMask[i].clone(),
-		area:     c.area[i],
-		latency:  c.delay[i],
+	w := c.alloc()
+	for k := range w.set {
+		w.set[k] = 0
 	}
 	w.set.set(i)
+	copy(w.argUnion, c.argVals[i])
+	copy(w.nbrUnion, c.nbrMask[i])
+	w.members = append(w.members[:0], i)
+	w.depths = append(w.depths[:0], c.delay[i])
+	w.area = c.area[i]
+	w.latency = c.delay[i]
 	w.in, w.out = c.numIO(w)
 	return w
 }
@@ -508,9 +746,15 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 		maxExamined = 200000
 	}
 
-	visited := make(map[string]bool)
+	visited := newVisitedSet((ctx.n + 63) / 64)
 	var queue []*workItem
+	head := 0
 	examined := 0
+	defer func() {
+		res.Stats.PoolHits += ctx.poolHits
+		res.Stats.PoolMisses += ctx.poolMisses
+		res.Stats.VisitedCollisions += visited.collisions
+	}()
 
 	record := func(w *workItem) {
 		// Only subgraphs that would save cycles as a CFU are worth handing
@@ -540,12 +784,13 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 		res.Stats.Recorded++
 	}
 
+	// push takes ownership of w: a duplicate is released back to the pool,
+	// a fresh subgraph is recorded and queued.
 	push := func(w *workItem) {
-		key := w.set.key()
-		if visited[key] {
+		if !visited.insert(w.set) {
+			ctx.release(w)
 			return
 		}
-		visited[key] = true
 		examined++
 		res.Stats.Examined++
 		res.Stats.BySize[len(w.members)]++
@@ -562,53 +807,78 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 		}
 	}
 
-	for len(queue) > 0 && examined < maxExamined {
+	type scored struct {
+		w     *workItem
+		score float64
+	}
+	accepted := make([]scored, 0, 64)
+
+	for head < len(queue) && examined < maxExamined {
 		if bud.exhausted(res) {
 			return
 		}
 		// FIFO pop: breadth-first keeps candidate sizes monotone, which
-		// the Sun-style pruning ablation relies on.
-		cur := queue[0]
-		queue = queue[1:]
+		// the Sun-style pruning ablation relies on. The head index (with
+		// periodic compaction) releases popped slots without the old
+		// queue[1:] reslice pinning the whole backing array.
+		cur := queue[head]
+		queue[head] = nil
+		head++
+		if head >= 1024 && head*2 >= len(queue) {
+			n := copy(queue, queue[head:])
+			queue = queue[:n]
+			head = 0
+		}
 
 		if cfg.MaxOps > 0 && len(cur.members) >= cfg.MaxOps {
+			ctx.release(cur)
 			continue
 		}
 		if cur.in > cfg.MaxInputs+overshoot || cur.out > cfg.MaxOutputs+overshoot {
+			ctx.release(cur)
 			continue
 		}
 		if cfg.MaxArea > 0 && cur.area >= cfg.MaxArea {
+			ctx.release(cur)
 			continue
 		}
 
-		type scored struct {
-			w     *workItem
-			score float64
+		accepted = accepted[:0]
+		for wi, wd := range cur.nbrUnion {
+			if wi < len(cur.set) {
+				wd &^= cur.set[wi]
+			}
+			for wd != 0 {
+				nb := wi<<6 + bits.TrailingZeros64(wd)
+				wd &= wd - 1
+				if !ctx.allowed.has(nb) {
+					continue
+				}
+				grown := ctx.grow(cur, nb)
+				if cfg.Naive || cfg.CandidatePrune > 0 {
+					accepted = append(accepted, scored{grown, 0})
+					continue
+				}
+				s := guideScore(ctx, cur, grown, nb, weights)
+				if s < threshold {
+					res.Stats.PrunedDirections++
+					ctx.release(grown)
+					continue
+				}
+				accepted = append(accepted, scored{grown, s})
+			}
 		}
-		var accepted []scored
-		cur.nbrUnion.forEach(cur.set, func(nb int) {
-			if !ctx.allowed.has(nb) {
-				return
-			}
-			grown := ctx.grow(cur, nb)
-			if cfg.Naive || cfg.CandidatePrune > 0 {
-				accepted = append(accepted, scored{grown, 0})
-				return
-			}
-			s := guideScore(ctx, cur, grown, nb, weights)
-			if s < threshold {
-				res.Stats.PrunedDirections++
-				return
-			}
-			accepted = append(accepted, scored{grown, s})
-		})
 		if !cfg.Naive && cfg.Fanout != nil {
 			if k := cfg.Fanout(len(cur.members), b.Weight); k > 0 && len(accepted) > k {
 				sort.Slice(accepted, func(a, b int) bool { return accepted[a].score > accepted[b].score })
 				res.Stats.PrunedDirections += len(accepted) - k
+				for _, a := range accepted[k:] {
+					ctx.release(a.w)
+				}
 				accepted = accepted[:k]
 			}
 		}
+		ctx.release(cur)
 		for _, a := range accepted {
 			push(a.w)
 			if examined >= maxExamined {
@@ -617,7 +887,8 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 		}
 
 		if cfg.CandidatePrune > 0 {
-			queue = pruneCandidates(queue, b.Weight, cfg.CandidatePrune)
+			live := pruneCandidates(ctx, queue[head:], b.Weight, cfg.CandidatePrune)
+			queue = queue[:head+len(live)]
 		}
 	}
 }
@@ -655,8 +926,9 @@ func guideScore(ctx *blockCtx, cur, grown *workItem, nb int, w GuideWeights) flo
 
 // pruneCandidates implements the Sun-style ablation: drop queued candidates
 // whose merit is below frac of the best queued merit. Merit is the profile
-// weight times the estimated cycles saved were the candidate a CFU.
-func pruneCandidates(queue []*workItem, blockWeight, frac float64) []*workItem {
+// weight times the estimated cycles saved were the candidate a CFU. It
+// compacts the live queue region in place, releasing dropped items.
+func pruneCandidates(c *blockCtx, queue []*workItem, blockWeight, frac float64) []*workItem {
 	if len(queue) < 2 {
 		return queue
 	}
@@ -676,6 +948,8 @@ func pruneCandidates(queue []*workItem, blockWeight, frac float64) []*workItem {
 	for i, w := range queue {
 		if merits[i] >= best*frac {
 			out = append(out, w)
+		} else {
+			c.release(w)
 		}
 	}
 	return out

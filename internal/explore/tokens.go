@@ -1,0 +1,52 @@
+package explore
+
+// Tokens is a small non-blocking counting semaphore used to share one
+// goroutine budget between the two parallelism levels: the experiment
+// harness's across-benchmark worker pool and the explorer's within-benchmark
+// block workers. Each running goroutine is meant to hold one token, so the
+// total degree of parallelism never exceeds the pool size no matter which
+// level claims it. All methods are safe on a nil receiver (a nil pool
+// grants nothing).
+type Tokens struct {
+	ch chan struct{}
+}
+
+// NewTokens returns a pool of n tokens (n < 1 yields an empty pool).
+func NewTokens(n int) *Tokens {
+	if n < 1 {
+		n = 0
+	}
+	t := &Tokens{ch: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		t.ch <- struct{}{}
+	}
+	return t
+}
+
+// TryAcquire takes a token without blocking, reporting success. It never
+// waits: a caller that fails to get a token simply stays serial, which
+// keeps the two-level scheme deadlock-free.
+func (t *Tokens) TryAcquire() bool {
+	if t == nil {
+		return false
+	}
+	select {
+	case <-t.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a previously acquired token.
+func (t *Tokens) Release() {
+	if t == nil {
+		return
+	}
+	select {
+	case t.ch <- struct{}{}:
+	default:
+		// Over-release is a programming error; dropping the token keeps
+		// the pool bounded instead of blocking the releaser.
+	}
+}

@@ -1,6 +1,15 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// The signature packs an opcode into 16 bits; this guard fails to compile
+// if the opcode space ever outgrows the field (so it cannot silently alias
+// two different opcodes into one bucket key).
+var _ [1]struct{} = [1 - int(ir.MaxOpcode)>>16]struct{}{}
 
 // Signature returns a fast invariant bucket key: shapes with different
 // signatures are guaranteed non-isomorphic. Used to avoid quadratic
@@ -34,13 +43,19 @@ func (s *Shape) Signature() string {
 		if s.IsOutput(i) {
 			out = 1
 		}
-		// Pack the per-node invariants into one comparable word.
-		rows[i] = uint64(n.Class)<<48 | uint64(n.Code)<<40 | uint64(d&0xFFFF)<<24 |
+		// Pack the per-node invariants into one comparable word. The
+		// opcode field is 16 bits wide (bits 40-55) so no two opcodes can
+		// alias even after the opcode space outgrows uint8; the guard above
+		// keeps the field honest. Layout, high to low: Class 56-63,
+		// Code 40-55, depth 24-39, ni 16-23, nx 8-15, nc 1-7, out 0.
+		rows[i] = uint64(n.Class)<<56 | (uint64(n.Code)&0xFFFF)<<40 | uint64(d&0xFFFF)<<24 |
 			uint64(ni&0xFF)<<16 | uint64(nx&0xFF)<<8 | uint64(nc&0x7F)<<1 | uint64(out)
 	}
 	sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
-	buf := make([]byte, 0, 4+8*len(rows))
-	buf = append(buf, byte(s.NumInputs), byte(s.NumInputs>>8), byte(len(s.Outputs)), byte(len(s.Nodes)))
+	buf := make([]byte, 0, 6+8*len(rows))
+	buf = append(buf, byte(s.NumInputs), byte(s.NumInputs>>8),
+		byte(len(s.Outputs)), byte(len(s.Outputs)>>8),
+		byte(len(s.Nodes)), byte(len(s.Nodes)>>8))
 	for _, r := range rows {
 		buf = append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24),
 			byte(r>>32), byte(r>>40), byte(r>>48), byte(r>>56))

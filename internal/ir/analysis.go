@@ -15,6 +15,14 @@ type DFG struct {
 	Preds, Succs [][]int
 	// DataPreds[i] holds only true dataflow predecessors of op i.
 	DataPreds [][]int
+	// DataSuccs[i] holds the ops that consume one of op i's results
+	// through a data edge (the inverse of DataPreds), in Succs order.
+	// Returned by Users; callers must not modify the shared slices.
+	DataSuccs [][]int
+	// codeStart/codeIdx index op positions by opcode: ops with opcode c
+	// are codeIdx[codeStart[c]:codeStart[c+1]], ascending.
+	codeStart []int32
+	codeIdx   []int32
 	// Height[i] is the longest unit-latency path from op i to any sink,
 	// counting i itself (so a sink has height 1).
 	Height []int
@@ -31,42 +39,53 @@ type DFG struct {
 // Analyze builds the DFG for b's current operation order.
 func Analyze(b *Block) *DFG {
 	n := len(b.Ops)
+	hds := make([]int, 3*n)
 	d := &DFG{
 		Block:     b,
 		Pos:       make(map[*Op]int, n),
 		Preds:     make([][]int, n),
 		Succs:     make([][]int, n),
 		DataPreds: make([][]int, n),
-		Height:    make([]int, n),
-		Depth:     make([]int, n),
-		Slack:     make([]int, n),
+		Height:    hds[:n:n],
+		Depth:     hds[n : 2*n : 2*n],
+		Slack:     hds[2*n:],
 	}
 	for i, op := range b.Ops {
 		d.Pos[op] = i
 	}
 
+	// Edges are gathered into one flat list first, then distributed into
+	// per-node slices carved from shared backing arrays — the per-node
+	// append-grown slices this replaces dominated the allocation profile of
+	// a compile. Dedup uses an n×n bit matrix. All data edges are inserted
+	// before any ordering edge, so a unique edge's data flag is fixed at
+	// first insertion and DataPreds stays the data-restricted subsequence
+	// of Preds, exactly as incremental insertion produced.
+	seen := make([]uint64, (n*n+63)/64)
+	cnt := make([]int32, 4*n)
+	predCnt := cnt[:n:n]
+	succCnt := cnt[n : 2*n : 2*n]
+	dataCnt := cnt[2*n : 3*n : 3*n]
+	dataSuccCnt := cnt[3*n:]
+	edges := make([]uint64, 0, 4*n)
 	addEdge := func(from, to int, data bool) {
 		if from == to {
 			return
 		}
-		for _, p := range d.Preds[to] {
-			if p == from {
-				if data {
-					for _, q := range d.DataPreds[to] {
-						if q == from {
-							return
-						}
-					}
-					d.DataPreds[to] = append(d.DataPreds[to], from)
-				}
-				return
-			}
+		idx := from*n + to
+		if seen[idx>>6]>>(uint(idx)&63)&1 != 0 {
+			return
 		}
-		d.Preds[to] = append(d.Preds[to], from)
-		d.Succs[from] = append(d.Succs[from], to)
+		seen[idx>>6] |= 1 << (uint(idx) & 63)
+		e := uint64(from)<<33 | uint64(to)<<1
 		if data {
-			d.DataPreds[to] = append(d.DataPreds[to], from)
+			e |= 1
+			dataCnt[to]++
+			dataSuccCnt[from]++
 		}
+		edges = append(edges, e)
+		predCnt[to]++
+		succCnt[from]++
 	}
 
 	// Data edges.
@@ -120,6 +139,43 @@ func Analyze(b *Block) *DFG {
 		}
 	}
 
+	// Distribute the edge list. Each per-node slice is a zero-length,
+	// capacity-bounded window into a shared backing array, so the appends
+	// below cannot allocate and edge list order (= historical insertion
+	// order) is preserved per node. DataSuccs[i] is the data-restricted
+	// subsequence of Succs[i], matching what the old post-pass computed.
+	edgeFlat := make([]int, 2*len(edges))
+	predFlat := edgeFlat[:len(edges):len(edges)]
+	succFlat := edgeFlat[len(edges):]
+	dataTotal := 0
+	for i := 0; i < n; i++ {
+		dataTotal += int(dataCnt[i])
+	}
+	bothData := make([]int, 2*dataTotal)
+	dataFlat := bothData[:dataTotal:dataTotal]
+	dataSuccFlat := bothData[dataTotal:]
+	d.DataSuccs = make([][]int, n)
+	po, so, do, dso := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		d.Preds[i] = predFlat[po:po : po+int(predCnt[i])]
+		po += int(predCnt[i])
+		d.Succs[i] = succFlat[so:so : so+int(succCnt[i])]
+		so += int(succCnt[i])
+		d.DataPreds[i] = dataFlat[do:do : do+int(dataCnt[i])]
+		do += int(dataCnt[i])
+		d.DataSuccs[i] = dataSuccFlat[dso:dso : dso+int(dataSuccCnt[i])]
+		dso += int(dataSuccCnt[i])
+	}
+	for _, e := range edges {
+		from, to := int(e>>33), int(e>>1&0xFFFFFFFF)
+		d.Preds[to] = append(d.Preds[to], from)
+		d.Succs[from] = append(d.Succs[from], to)
+		if e&1 != 0 {
+			d.DataPreds[to] = append(d.DataPreds[to], from)
+			d.DataSuccs[from] = append(d.DataSuccs[from], to)
+		}
+	}
+
 	// Height (reverse topological: ops are in a legal order by construction,
 	// but edits may have perturbed it, so iterate to fixpoint via DFS).
 	order := d.topo()
@@ -149,33 +205,60 @@ func Analyze(b *Block) *DFG {
 	for i := 0; i < n; i++ {
 		d.Slack[i] = d.CritLen - (d.Depth[i] + d.Height[i] - 1)
 	}
+
+	// Opcode index: counting sort of op positions by opcode, so the
+	// matcher can seed from just the ops of one opcode.
+	const codeL = int(MaxOpcode) + 2
+	codeBuf := make([]int32, 2*codeL)
+	d.codeStart = codeBuf[:codeL:codeL]
+	for _, op := range b.Ops {
+		d.codeStart[int(op.Code)+1]++
+	}
+	for c := 1; c < len(d.codeStart); c++ {
+		d.codeStart[c] += d.codeStart[c-1]
+	}
+	d.codeIdx = make([]int32, n)
+	fill := codeBuf[codeL:]
+	copy(fill, d.codeStart)
+	for i, op := range b.Ops {
+		d.codeIdx[fill[op.Code]] = int32(i)
+		fill[op.Code]++
+	}
 	return d
+}
+
+// OpsByCode returns the ascending op indices whose opcode is c. The slice
+// is shared; callers must not modify it.
+func (d *DFG) OpsByCode(c Opcode) []int32 {
+	if c >= MaxOpcode {
+		return nil
+	}
+	return d.codeIdx[d.codeStart[c]:d.codeStart[c+1]]
 }
 
 // topo returns a topological order of the op indices. It panics if the
 // dependence graph is cyclic, which indicates a malformed block.
 func (d *DFG) topo() []int {
 	n := len(d.Block.Ops)
-	indeg := make([]int, n)
+	indeg := make([]int32, n)
 	for i := 0; i < n; i++ {
-		indeg[i] = len(d.Preds[i])
+		indeg[i] = int32(len(d.Preds[i]))
 	}
+	// order doubles as the FIFO work queue: dequeued nodes are exactly the
+	// emitted prefix, so a head cursor over order replaces a second slice.
+	// Seeding in program order keeps output deterministic.
 	order := make([]int, 0, n)
-	// Stable queue seeded in program order keeps output deterministic.
-	queue := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			queue = append(queue, i)
+			order = append(order, i)
 		}
 	}
-	for len(queue) > 0 {
-		i := queue[0]
-		queue = queue[1:]
-		order = append(order, i)
+	for h := 0; h < len(order); h++ {
+		i := order[h]
 		for _, s := range d.Succs[i] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				queue = append(queue, s)
+				order = append(order, s)
 			}
 		}
 	}
@@ -189,19 +272,9 @@ func (d *DFG) topo() []int {
 func (d *DFG) TopoOrder() []int { return d.topo() }
 
 // Users returns, for each op index, the indices of ops that consume one of
-// its results through a data edge.
-func (d *DFG) Users(i int) []int {
-	var out []int
-	for _, s := range d.Succs[i] {
-		for _, p := range d.DataPreds[s] {
-			if p == i {
-				out = append(out, s)
-				break
-			}
-		}
-	}
-	return out
-}
+// its results through a data edge. The slice is shared with the DFG;
+// callers must not modify it.
+func (d *DFG) Users(i int) []int { return d.DataSuccs[i] }
 
 // Validate checks structural invariants: every FromOp operand references an
 // op in the same block that precedes first use in some topological order
