@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hdl"
 	"repro/internal/hwlib"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -37,7 +38,20 @@ func main() {
 	hwPath := flag.String("hwlib", "", "JSON hardware library (default: built-in 0.18u calibration)")
 	dumpHW := flag.Bool("dumphwlib", false, "print the built-in hardware library as JSON and exit")
 	verilog := flag.String("verilog", "", "also emit the selected CFUs as Verilog to this path")
+	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := telemetry.ServePprof(*pprofAddr); err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		log.Printf("pprof listening on %s", *pprofAddr)
+	}
+	var tel *telemetry.Registry
+	if *trace != "" {
+		tel = telemetry.New("iscgen")
+	}
 
 	if *dumpHW {
 		if err := hwlib.Default().WriteJSON(os.Stdout); err != nil {
@@ -60,6 +74,7 @@ func main() {
 	cfg.ExploreDeadline = *deadline
 	cfg.MaxCandidates = *maxCands
 	cfg.Workers = *jobs
+	cfg.Telemetry = tel
 	cfg.Lib, err = hwlib.LoadOrDefault(openFile, *hwPath)
 	if err != nil {
 		log.Fatal(err)
@@ -113,6 +128,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote Verilog datapaths to %s\n", *verilog)
+	}
+
+	// The trace dump and summary both stay off stdout, which must remain
+	// byte-identical with telemetry on or off.
+	if tel != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		tel.WriteSummary(os.Stderr)
 	}
 }
 

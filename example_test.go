@@ -26,6 +26,42 @@ func Example() {
 	// speedup over the VLIW baseline: true
 }
 
+// ExampleBenchmark looks up one of the paper's 13 seed benchmarks and
+// inspects its program.
+func ExampleBenchmark() {
+	bench, err := repro.Benchmark("crc")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("name:", bench.Name)
+	fmt.Println("domain:", bench.Domain)
+	fmt.Println("has blocks:", len(bench.Program.Blocks) > 0)
+	// Output:
+	// name: crc
+	// domain: network
+	// has blocks: true
+}
+
+// ExampleCustomize runs the hardware and software compilers end to end on
+// a seed benchmark at a small area budget.
+func ExampleCustomize() {
+	bench, err := repro.Benchmark("sha")
+	if err != nil {
+		panic(err)
+	}
+	res, err := repro.Customize(bench.Program, repro.Config{Budget: 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("CFUs selected:", len(res.MDES.CFUs) > 0)
+	fmt.Println("within budget:", res.MDES.TotalArea <= 5)
+	fmt.Println("speedup over baseline:", res.Report.Speedup > 1)
+	// Output:
+	// CFUs selected: true
+	// within budget: true
+	// speedup over baseline: true
+}
+
 // Example_customKernel customizes a user-defined computation built with
 // the IR builder API.
 func Example_customKernel() {

@@ -1,19 +1,3 @@
-// Package asm is a textual assembly format for the generic RISC IR: the
-// paper's input artifact ("profiled assembly code, unscheduled, using
-// virtual registers") in readable, round-trippable form. It lets programs
-// be authored or dumped as text and fed to the command-line tools instead
-// of the built-in benchmarks.
-//
-// Grammar (one operation per line; ';' starts a comment):
-//
-//	program NAME
-//	block NAME weight FLOAT [succs NAME,NAME,...]
-//	  %ID = OPCODE ARG, ARG [-> rN]       ; value-producing op
-//	  OPCODE ARG, ARG                     ; store/branch/nop
-//
-// Arguments are %ID (result of an earlier-defined op), %ID.K (result K of
-// a custom op), rN (virtual register, live into the block), or #IMM
-// (immediate; decimal, hex 0x.., or negative decimal).
 package asm
 
 import (

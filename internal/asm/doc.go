@@ -1,0 +1,19 @@
+// Package asm is a textual assembly format for the generic RISC IR: the
+// serialized form of the paper's input artifact (§2 — profiled,
+// virtual-register generic RISC assembly), so programs can be authored,
+// exported, and resubmitted as plain text instead of through the builder
+// API. Every cmd/ tool accepts it via -asm, and the customization service
+// accepts it in the "program" field of POST /v1/customize.
+//
+// Main entry points: Parse reads a program (with full semantic validation
+// and forward references), Write renders one (rejecting already-customized
+// programs, whose CFU semantics are not textual), and Opcodes lists the
+// mnemonic table. The grammar is line-oriented:
+//
+//	program NAME
+//	block NAME weight FLOAT [succs A,B,...]
+//	  %0 = rotl r1, #5
+//	  %1 = xor %0, r2 -> r3
+//
+// FuzzIscasm keeps Parse total on arbitrary input (CI runs it).
+package asm

@@ -1,10 +1,3 @@
-// Package bench parses `go test -bench` output and compares it against a
-// committed baseline, so CI can fail on performance regressions without
-// any external tooling. Only the three standard metrics are tracked:
-// ns/op, B/op, and allocs/op. The latter two are machine-independent (the
-// allocator's behavior is deterministic for a deterministic workload), so
-// they can be held to a tight tolerance across heterogeneous CI hardware;
-// wall-clock needs a looser one.
 package bench
 
 import (

@@ -1,0 +1,14 @@
+// Package bench parses `go test -bench` output and compares it against a
+// committed baseline so CI can gate on performance regressions in the
+// pipeline's hot paths (exploration, matching, scheduling — the paths
+// DESIGN.md §8 keeps allocation-free). ns/op is machine-dependent and gets
+// a loose tolerance; B/op and allocs/op are deterministic for identical
+// code, so they get a tight one — an accidental allocation in a hot loop
+// fails CI even on noisy runners.
+//
+// Main entry points: Parse reads benchmark output, ReadBaseline loads the
+// committed baseline, Compare applies a Tolerance and returns regressions
+// and missing benchmarks, Report/WriteJSON render the comparison for CI
+// logs. The benchguard tool (internal/bench/cmd/benchguard) wires these
+// into the bench-guard CI job.
+package bench

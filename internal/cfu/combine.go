@@ -1,7 +1,3 @@
-// Package cfu implements the back half of the paper's hardware compiler:
-// grouping discovered candidate subgraphs into candidate custom function
-// units (CFUs), analyzing subsumption and wildcard relationships between
-// them, and selecting the set of CFUs that best spends an area budget.
 package cfu
 
 import (

@@ -1,0 +1,20 @@
+// Package cfu implements the back half of the paper's hardware compiler
+// (§3.3–§3.4): grouping the explorer's raw candidate subgraphs into custom
+// function units, analyzing what else each CFU can execute, and choosing
+// which CFUs to build under a die-area budget.
+//
+// Main entry points:
+//
+//   - CombinePartial (§3.3): merge isomorphic candidates across blocks into
+//     a single CFU with accumulated dynamic-weight value, using canonical
+//     signatures with exact isomorphism re-checks; cooperative-cancellation
+//     aware (best-so-far on ctx expiry).
+//   - Select (§3.4): pick CFUs under the area budget; SelectMode chooses
+//     the heuristic — GreedyRatio (value/cost, the paper's choice),
+//     GreedyValue, or Knapsack (optimal dynamic program, for the limit
+//     study).
+//   - Variants / subsumption analysis (§4): smaller patterns that a
+//     selected CFU can also execute by feeding identity inputs.
+//   - BuildMultiFunction: merged multi-function CFUs via opcode-class
+//     generalization — the paper's proposed future work, off by default.
+package cfu

@@ -1,8 +1,3 @@
-// Package compile implements the paper's retargetable compiler support for
-// custom instructions: subgraph matching against the MDES's CFU patterns,
-// match prioritization and filtering, custom-instruction replacement with
-// the reordering needed for correctness (§4.2), and final scheduling plus
-// register allocation on the VLIW baseline.
 package compile
 
 import (

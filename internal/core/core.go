@@ -1,7 +1,3 @@
-// Package core ties the whole system together behind the paper's two-step
-// flow: a hardware compiler that turns a profiled application into a set of
-// custom function units (an MDES), and a retargetable software compiler
-// that exploits any MDES on any application.
 package core
 
 import (
@@ -72,6 +68,10 @@ type Config struct {
 	// so output is identical at every setting; exploration falls back to
 	// serial while an anytime budget is active.
 	Workers int
+	// Spare, when non-nil, gates the extra block-exploration workers: each
+	// one must hold a token, so concurrent Customize calls sharing one pool
+	// split a single goroutine budget instead of multiplying Workers.
+	Spare *explore.Tokens
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +147,7 @@ func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
 		ecfg.Fanout = cfg.Fanout
 	}
 	ecfg.Workers = cfg.Workers
+	ecfg.Spare = cfg.Spare
 	res := explore.Explore(p, ecfg)
 	cands, ctrunc := cfu.CombinePartial(res, cfg.Lib, cfu.CombineOptions{Telemetry: cfg.Telemetry, Ctx: cfg.Ctx})
 	if cfg.MultiFunction {

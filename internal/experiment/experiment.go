@@ -1,8 +1,3 @@
-// Package experiment contains the harnesses that regenerate every figure
-// of the paper's evaluation: performance versus area (Figure 7, native and
-// cross-compiled), the subsumed-subgraph/wildcard study (Figures 8 and 9),
-// the exploration statistics (Figure 3), the infinite-resource limit study,
-// and the selection/guide-function ablations discussed in the text.
 package experiment
 
 import (

@@ -1,16 +1,3 @@
-// Package explore implements the paper's dataflow graph design space
-// exploration engine: the subsystem that discovers candidate subgraphs for
-// custom function units.
-//
-// Exploration starts from every DFG node as a seed and grows candidates one
-// adjacent node at a time. A naive exploration grows in every direction and
-// is exponential; the engine instead ranks each growth *direction* with a
-// four-category guide function (criticality, latency, area, input/output —
-// 10 points each) and refuses directions scoring below half the available
-// points, with a configurable bound on the fanout from each candidate.
-// Pruning directions rather than candidates preserves the chance that a
-// low-ranking candidate grows into a useful one (the paper's stated
-// advantage over Sun-style candidate pruning).
 package explore
 
 import (

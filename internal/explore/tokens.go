@@ -1,5 +1,7 @@
 package explore
 
+import "context"
+
 // Tokens is a small non-blocking counting semaphore used to share one
 // goroutine budget between the two parallelism levels: the experiment
 // harness's across-benchmark worker pool and the explorer's within-benchmark
@@ -34,6 +36,23 @@ func (t *Tokens) TryAcquire() bool {
 	case <-t.ch:
 		return true
 	default:
+		return false
+	}
+}
+
+// Acquire blocks until a token is available or ctx is done, reporting
+// whether a token was obtained. It is the admission gate for callers that
+// must run rather than stay serial — the customization service queues each
+// request here so accepted work never oversubscribes the pool. A nil pool
+// grants nothing (mirroring TryAcquire).
+func (t *Tokens) Acquire(ctx context.Context) bool {
+	if t == nil {
+		return false
+	}
+	select {
+	case <-t.ch:
+		return true
+	case <-ctx.Done():
 		return false
 	}
 }

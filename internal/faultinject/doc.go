@@ -1,0 +1,19 @@
+// Package faultinject is a test-only fault switchboard for exercising the
+// pipeline's failure paths deterministically. Production code calls
+// Fire(site, key) at stage entry points; when disarmed (the default) that
+// is a single atomic load and nothing more. Tests and CI arm it through
+// the REPRO_FAULTS environment variable or Enable, with specs of the form
+//
+//	site:key=panic | site:key=error | site:key=slow:DURATION
+//
+// where site is one of benchmark, explore, select, compile (the experiment
+// harness stages) or server (the iscd request path), and key is a
+// benchmark name or * for any. This is how CI proves the fault-isolation
+// contracts: a panicking sweep job becomes a PanicError row, an iscd panic
+// becomes a 500 without killing the daemon, and an injected slow burns a
+// request deadline to force a Truncated best-so-far response.
+//
+// Main entry points: Fire (the instrumentation site), Enable / Reset
+// (programmatic arming with restore), Fired (assertion counters),
+// InjectedError, and EnvVar.
+package faultinject

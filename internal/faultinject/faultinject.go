@@ -1,25 +1,3 @@
-// Package faultinject is a test-only fault-injection harness for the
-// customization pipeline. Production stages call Fire(site, key) at their
-// entry points; when injection is disabled (the default) that is a single
-// atomic load. Tests — and operators reproducing failures — arm faults
-// either programmatically with Enable or through the REPRO_FAULTS
-// environment variable, and the pipeline's containment layers (panic
-// recovery in the worker pool and memo caches, partial-result sweeps) must
-// survive whatever is injected.
-//
-// A fault spec is a comma-separated list of rules:
-//
-//	site:key=mode[,site:key=mode...]
-//
-// where site names an injection point ("explore", "select", "compile",
-// "benchmark"), key selects the victim (usually a benchmark name; "*"
-// matches every key), and mode is one of:
-//
-//	panic        panic at the site (exercises panic containment)
-//	error        return an injected error from the site
-//	slow:DUR     sleep for DUR (a time.ParseDuration string) then proceed
-//
-// Example: REPRO_FAULTS='explore:sha=panic,compile:crc=slow:50ms'.
 package faultinject
 
 import (

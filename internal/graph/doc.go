@@ -1,0 +1,19 @@
+// Package graph implements the pattern graphs that describe custom
+// function units (CFUs), together with the graph algorithms the system
+// needs: canonical signatures and exact isomorphism for the hardware
+// compiler's candidate-combination stage (§3.3), and a VF2-style subgraph
+// matcher for the software compiler's CFU utilization stage (§4.1),
+// playing the role of the vflib library used in the paper.
+//
+// Main entry points:
+//
+//   - Shape: a CFU pattern graph; FromSubgraph lifts an explored candidate
+//     out of a program; Shape.Signature is the commutativity-aware
+//     canonical key under which isomorphic candidates combine.
+//   - Isomorphic: exact pattern equality (signature collisions re-checked).
+//   - FindMatches: all occurrences of a pattern in a block's DFG, with
+//     opcode-indexed seeding, degree/depth feasibility filters and pooled
+//     scratch (allocation-free probes — DESIGN.md §8).
+//   - Variants: the subsumed-subgraph enumeration (§4) that lets smaller
+//     patterns execute on a larger CFU by driving identity inputs.
+package graph

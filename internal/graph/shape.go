@@ -1,9 +1,3 @@
-// Package graph implements the pattern graphs that describe custom function
-// units (CFUs), together with the graph algorithms the system needs:
-// canonical signatures and exact isomorphism (for the hardware compiler's
-// candidate-combination stage) and a VF2-style subgraph matcher (for the
-// software compiler's CFU utilization stage, playing the role of the vflib
-// library used in the paper).
 package graph
 
 import (

@@ -1,0 +1,11 @@
+// Package hdl emits synthesizable Verilog for selected CFU datapaths.
+// This goes beyond the paper, which stopped at area/delay estimates from
+// a standard-cell flow (§3, §5): emitting RTL makes the "hardware
+// compiler" output consumable by an actual hardware team, and lets the
+// hwlib area model be sanity-checked against a real synthesis run.
+//
+// Main entry points: EmitCFU renders one pattern graph as a combinational
+// Verilog module (inputs/outputs follow the pattern's port order); EmitMDES
+// renders every CFU in a machine description plus a dispatch wrapper.
+// cmd/iscgen exposes this via -verilog.
+package hdl

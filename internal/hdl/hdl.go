@@ -1,19 +1,3 @@
-// Package hdl emits synthesizable Verilog for custom function units. The
-// paper's flow ends at a machine description; a hardware team consumes the
-// selected CFUs as RTL, so this package renders each pattern graph as a
-// combinational datapath module with registered outputs per pipeline
-// stage boundary being left to the integrator (the units are specified
-// pipelined at their whole-cycle latency).
-//
-// Emitted interface per CFU:
-//
-//	module cfu3_shl_and_add (
-//	  input  wire [31:0] in0, in1, ...,   // register-file read ports
-//	  input  wire [31:0] imm0, ...,       // immediate fields
-//	  output wire [31:0] out0, ...        // register-file write ports
-//	);
-//
-// Multi-function (opcode-class) nodes get a function-select input.
 package hdl
 
 import (

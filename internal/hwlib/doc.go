@@ -1,0 +1,26 @@
+// Package hwlib is the hardware library: per-opcode die-area and timing
+// estimates used by the DFG space explorer and the CFU cost model — the
+// paper's standard-cell characterization (§3, evaluation §5).
+//
+// The paper characterized each primitive with Synopsys design tools and a
+// 0.18µ standard cell library at a 300 MHz system clock. That toolchain is
+// proprietary, so this package ships a static table calibrated to every
+// concrete number the paper reveals:
+//
+//   - area is expressed in units of one 32-bit ripple-carry adder (the
+//     paper's cost unit), so Add/Sub cost exactly 1.0;
+//   - delay is a fraction of the 300 MHz cycle; shift-by-constant and width
+//     changes are effectively wiring (the paper's Figure 2 example gives a
+//     shift ~0 delay and lets an AND+SHL pair run in 0.15 cycles, and an
+//     adder 0.30 cycles);
+//   - a 32-bit multiplier is ~18 adders of area, matching the paper's
+//     "area greater than 8 multipliers" ≫ 15-adder-budget anecdote.
+//
+// Only relative magnitudes drive the algorithms, so this substitution
+// preserves the paper's behaviour; see DESIGN.md §2.
+//
+// Main entry points: Default returns the built-in calibration; Library
+// carries per-opcode Cost entries plus identity inputs (for subsumed
+// variants, §4) and opcode classes (for wildcards); LoadOrDefault /
+// WriteJSON swap characterizations as JSON (iscgen -hwlib / -dumphwlib).
+package hwlib

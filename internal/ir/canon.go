@@ -1,0 +1,114 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a canonical content hash of the program: a hex
+// SHA-256 string that identifies the program's semantics rather than its
+// spelling. Two programs whose blocks list the same dataflow graph in
+// different topological orders (pure operations permuted, op IDs
+// renumbered) fingerprint identically, while any semantic change — an
+// opcode, operand, immediate, live-out register, block name, profile
+// weight, or successor edge — produces a different hash. Operations with
+// ordered side effects (loads, stores, branches, memory-bearing custom
+// instructions) additionally carry their relative program order, so
+// reordering them changes the fingerprint even when the dataflow looks
+// unchanged.
+//
+// The hash is the cache identity used by the customization service
+// (internal/server): a conservative key, in that a false difference only
+// costs a cache miss while equal keys always denote semantically equal
+// programs.
+func Fingerprint(p *Program) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "program %q blocks %d\n", p.Name, len(p.Blocks))
+	for _, b := range p.Blocks {
+		blockFingerprint(h, b)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// blockFingerprint writes one block's canonical form: its identity
+// (name, weight, successors) followed by the sorted multiset of per-op
+// structural hashes. Sorting makes the emission order independent of the
+// ops' positions in b.Ops; program order survives only through the
+// side-effect ordinals embedded in the op hashes themselves.
+func blockFingerprint(w io.Writer, b *Block) {
+	// First pass: assign each side-effecting op its ordinal among the
+	// block's side-effecting ops, in program order.
+	ords := make(map[*Op]int)
+	for _, op := range b.Ops {
+		if opIsOrdered(op) {
+			ords[op] = len(ords)
+		}
+	}
+	memo := make(map[*Op]string, len(b.Ops))
+	hashes := make([]string, 0, len(b.Ops))
+	for _, op := range b.Ops {
+		hashes = append(hashes, opFingerprint(op, ords, memo))
+	}
+	sort.Strings(hashes)
+	fmt.Fprintf(w, "block %q weight %g succs %q ops %d\n",
+		b.Name, b.Weight, strings.Join(b.Succs, ","), len(b.Ops))
+	for _, s := range hashes {
+		fmt.Fprintln(w, s)
+	}
+}
+
+// opIsOrdered reports whether the op's position relative to other ordered
+// ops is semantically meaningful (memory accesses and control flow).
+func opIsOrdered(op *Op) bool {
+	if op.Code == Custom {
+		return op.Custom.UsesMemory
+	}
+	return op.Code.IsMemory() || op.Code.IsBranch()
+}
+
+// opFingerprint hashes one op structurally: opcode, side-effect ordinal
+// (when ordered), operands with FromOp references replaced by the
+// producer's hash, and live-out registers. Each op's description embeds
+// its producers' fixed-length hashes rather than their expansions, so
+// shared subexpressions cost O(1) per use and the memoized recursion is
+// linear in the block (blocks are acyclic, so it terminates).
+func opFingerprint(op *Op, ords map[*Op]int, memo map[*Op]string) string {
+	if s, ok := memo[op]; ok {
+		return s
+	}
+	var sb strings.Builder
+	if op.Code == Custom {
+		fmt.Fprintf(&sb, "custom %q lat %d out %d", op.Custom.Name, op.Custom.Latency, op.Custom.NumOut)
+	} else {
+		sb.WriteString(op.Code.String())
+	}
+	if ord, ok := ords[op]; ok {
+		fmt.Fprintf(&sb, " @%d", ord)
+	}
+	for _, a := range op.Args {
+		switch a.Kind {
+		case FromOp:
+			fmt.Fprintf(&sb, " (%s.%d)", opFingerprint(a.X, ords, memo), a.Idx)
+		case FromReg:
+			fmt.Fprintf(&sb, " r%d", a.Reg)
+		default:
+			fmt.Fprintf(&sb, " #%d", a.Val)
+		}
+	}
+	if op.Dest != 0 {
+		fmt.Fprintf(&sb, " ->r%d", op.Dest)
+	}
+	for i, r := range op.Dests {
+		if r != 0 {
+			fmt.Fprintf(&sb, " [%d]->r%d", i, r)
+		}
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	s := hex.EncodeToString(sum[:])
+	memo[op] = s
+	return s
+}

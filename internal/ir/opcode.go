@@ -1,12 +1,3 @@
-// Package ir defines the generic RISC intermediate representation consumed by
-// the instruction-set customization system.
-//
-// The representation mirrors the paper's input artifact: profiled,
-// unscheduled assembly code over virtual registers, organized as basic
-// blocks whose operations form an explicit dataflow graph (DFG). Operations
-// are primitive, atomic RISC operations (Add, Xor, Load, ...); constants and
-// live-in registers appear as operands rather than nodes, so every DFG node
-// is a real computation.
 package ir
 
 import "fmt"

@@ -1,0 +1,11 @@
+// Package machine describes the baseline processor the paper evaluates
+// against (§5): a 4-wide VLIW issuing at most one integer, one floating
+// point, one memory, and one branch operation per cycle, with ARM7-like
+// operation latencies at a 300 MHz clock. Custom function units issue on
+// the integer slot, so CFU speedup never comes from extra issue width —
+// only from collapsing dataflow subgraphs.
+//
+// Main entry points: Default4Wide builds the paper's machine; Desc carries
+// the slot classes, per-opcode latencies, and clock that the scheduler
+// (internal/sched) and cycle-accurate executor (internal/vliwsim) consume.
+package machine

@@ -1,12 +1,3 @@
-// Package machine describes the baseline processor of the paper's
-// evaluation: a four-wide VLIW that can issue one integer, one
-// floating-point, one memory and one branch operation per cycle, with an
-// instruction set and latencies similar to the ARM-7, clocked at 300 MHz.
-//
-// Custom function units issue on the integer slot, so an ordinary integer
-// operation and a CFU cannot execute in the same cycle — the paper's device
-// for ensuring measured speedups come from the custom instructions rather
-// than from added issue width.
 package machine
 
 import (

@@ -1,0 +1,13 @@
+// Package mdes defines the machine description (MDES) interchange format
+// between the paper's two compiler halves (§2, Figure 1): the hardware
+// compiler emits a prioritized list of selected CFUs — pattern graphs,
+// subsumed variants, latencies, and areas — and the retargetable software
+// compiler consumes it to customize the application. Serializing this
+// boundary as JSON lets the halves run as separate tool invocations
+// (iscgen -o / isccompile -mdes), exactly as the paper's toolflow does.
+//
+// Main entry points: MDES is the format; FromSelection builds one from the
+// selector's output, preserving selection priority order (§3.4);
+// WriteJSON / ReadJSON are the stable serialized form, byte-identical for
+// identical selections so artifacts diff cleanly in CI.
+package mdes

@@ -1,8 +1,3 @@
-// Package mdes defines the machine description the hardware compiler emits
-// and the retargetable software compiler consumes. It is the interchange
-// format between the two halves of the system: a prioritized list of custom
-// function units with their patterns, subsumed variants, latencies and
-// areas.
 package mdes
 
 import (

@@ -1,0 +1,14 @@
+// Package sched implements the final VLIW code-generation stages the
+// paper's evaluation depends on (§4, §5): a list scheduler that places
+// operations into cycles under the machine's slot and latency constraints,
+// and a linear-scan register allocator that inserts spill code when
+// virtual registers exceed the physical file. Block cycle counts are
+// schedule lengths weighted by profile frequency — the quantity behind
+// every speedup number in the paper's Figure 7.
+//
+// Main entry points: List produces a per-block Schedule (cycle × slot
+// grid) for a machine.Desc; Allocate rewrites a block onto physical
+// registers; ScheduleWithRegAlloc composes the two, rescheduling after
+// spill insertion. The compile package drives these for the baseline and
+// the customized program, and vliwsim independently replays the result.
+package sched

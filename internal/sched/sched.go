@@ -1,8 +1,3 @@
-// Package sched provides the compiler's final stages for the VLIW
-// baseline: an operation list scheduler under resource and latency
-// constraints, and a linear-scan register allocator with spill insertion.
-// Block cycle counts — the quantity every experiment reports — are schedule
-// lengths weighted by profile counts.
 package sched
 
 import (

@@ -1,0 +1,36 @@
+// Package server exposes the complete customization pipeline — the paper's
+// hardware compiler (§3: DFG exploration, candidate combination, CFU
+// selection) fused with its retargetable software compiler (§4) — as a
+// long-running HTTP/JSON service, the deployment shape the batch CLIs
+// under cmd/ cannot provide. ISE generation is an iterative workflow:
+// users resubmit near-identical programs while tuning budgets and
+// constraints, and the service exploits exactly that redundancy.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/customize   run the pipeline on a named seed benchmark or an
+//	                     iscasm program; returns the MDES + speedup report
+//	GET  /v1/benchmarks  list the paper's thirteen seed benchmarks
+//	GET  /healthz        liveness ("ok" or "draining")
+//	GET  /metrics        telemetry counters/gauges/spans, Prometheus-style
+//
+// Main entry points: New builds a Server from a Config; Handler mounts the
+// API; Shutdown drains in-flight runs. Request/Response define the wire
+// format.
+//
+// Hot-path machinery, in request order: an LRU result cache keyed by a
+// canonical content hash of (program, config) — ir.Fingerprint makes the
+// key invariant under pure-op reordering, so a resubmitted program hits
+// even after cosmetic edits; singleflight coalescing so N concurrent
+// identical requests run the pipeline once and share one byte-identical
+// body; bounded admission against the shared explore.Tokens budget so the
+// service never oversubscribes cores no matter the request rate;
+// per-request deadlines lowered onto the pipeline's anytime budgets, so a
+// timed-out request returns its best-so-far result tagged truncated
+// instead of an error (truncated results are never cached); and a panic
+// fence at the run boundary (experiment.PanicError) so one poisoned
+// request cannot take the daemon down. The faultinject "server" site
+// covers all of this in the robustness suite.
+//
+// cmd/iscd is the daemon wrapping this package.
+package server

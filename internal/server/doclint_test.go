@@ -1,0 +1,129 @@
+package server
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDocComments is the doc-lint gate CI runs in the docs job: every
+// exported identifier in this package and in the root repro package must
+// carry a doc comment, and each package must have package documentation.
+// The public API is the product surface of the service layer; undocumented
+// exports are regressions, not style nits.
+func TestDocComments(t *testing.T) {
+	for dir, pkgName := range map[string]string{
+		".":     "server",
+		"../..": "repro",
+	} {
+		lintPackageDocs(t, dir, pkgName)
+	}
+}
+
+// TestInternalPackagesHaveDocs walks every internal/ package and requires a
+// non-empty package comment — the per-package doc.go files mapping each
+// module to the paper section it implements are part of the product, and a
+// new package without one should fail CI.
+func TestInternalPackagesHaveDocs(t *testing.T) {
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatalf("reading internal/: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("..", e.Name())
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			hasDoc := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					hasDoc = true
+					break
+				}
+			}
+			if !hasDoc {
+				t.Errorf("internal package %s (%s) has no package documentation", name, dir)
+			}
+		}
+	}
+}
+
+func lintPackageDocs(t *testing.T, dir, pkgName string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	pkg, ok := pkgs[pkgName]
+	if !ok {
+		t.Fatalf("package %q not found in %s (got %v)", pkgName, dir, pkgs)
+	}
+
+	hasPackageDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPackageDoc = true
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					t.Errorf("%s: exported %s %s has no doc comment",
+						fset.Position(d.Pos()), funcKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				lintGenDecl(t, fset, d)
+			}
+		}
+	}
+	if !hasPackageDoc {
+		t.Errorf("package %s (%s) has no package documentation", pkgName, dir)
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// lintGenDecl checks exported types, consts and vars. A doc comment on the
+// grouped declaration covers its members, matching godoc's rendering.
+func lintGenDecl(t *testing.T, fset *token.FileSet, d *ast.GenDecl) {
+	t.Helper()
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				t.Errorf("%s: exported type %s has no doc comment", fset.Position(s.Pos()), s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					t.Errorf("%s: exported %s %s has no doc comment",
+						fset.Position(s.Pos()), d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// Example is a full iscd client round-trip: stand the service up, submit a
+// benchmark for customization twice, and observe the second reply coming
+// from the content-addressed cache.
+func Example() {
+	srv := server.New(server.Config{CacheEntries: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func() (*http.Response, server.Response) {
+		resp, err := http.Post(ts.URL+"/v1/customize", "application/json",
+			strings.NewReader(`{"benchmark":"crc","budget":5}`))
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		var out server.Response
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			panic(err)
+		}
+		return resp, out
+	}
+
+	first, out := post()
+	fmt.Println("status:", first.StatusCode, first.Header.Get("X-Iscd-Cache"))
+	fmt.Println("source:", out.Source)
+	fmt.Println("speedup over baseline:", out.Report.Speedup > 1)
+
+	second, _ := post()
+	fmt.Println("repeat:", second.StatusCode, second.Header.Get("X-Iscd-Cache"))
+	// Output:
+	// status: 200 miss
+	// source: crc
+	// speedup over baseline: true
+	// repeat: 200 hit
+}

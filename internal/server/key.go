@@ -1,0 +1,128 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/cfu"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Request is the JSON body of POST /v1/customize. Exactly one of Benchmark
+// (a named seed benchmark) or Program (iscasm assembly text, the grammar of
+// internal/asm) selects the input application; the remaining fields mirror
+// core.Config. Zero values mean the paper's defaults, and requests that
+// differ only in how they spell a default (budget 0 versus budget 15)
+// normalize to the same cache key.
+type Request struct {
+	// Benchmark names one of the paper's thirteen seed benchmarks.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Program is an application in iscasm assembly text.
+	Program string `json:"program,omitempty"`
+	// Budget is the CFU area budget in adder units (0 = 15).
+	Budget float64 `json:"budget,omitempty"`
+	// MaxInputs / MaxOutputs bound each CFU's register ports (0 = 5 / 3).
+	MaxInputs  int `json:"max_inputs,omitempty"`
+	MaxOutputs int `json:"max_outputs,omitempty"`
+	// SelectMode picks the selection heuristic: "greedy" (default),
+	// "value", or "dp".
+	SelectMode string `json:"select_mode,omitempty"`
+	// UseVariants / UseOpcodeClasses enable the compiler's subsumed-
+	// subgraph and wildcard generalizations.
+	UseVariants      bool `json:"use_variants,omitempty"`
+	UseOpcodeClasses bool `json:"use_opcode_classes,omitempty"`
+	// MultiFunction adds merged multi-function CFUs to the candidate pool.
+	MultiFunction bool `json:"multi_function,omitempty"`
+	// Optimize runs CSE and dead-code elimination before matching.
+	Optimize bool `json:"optimize,omitempty"`
+	// Verify cross-checks every transformed block in the simulator.
+	Verify bool `json:"verify,omitempty"`
+	// DeadlineMS bounds the request's pipeline wall-clock time in
+	// milliseconds (0 = the server's default). On expiry the response
+	// carries the best-so-far result tagged "truncated", not an error.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// MaxCandidates caps recorded candidate subgraphs (0 = unlimited).
+	MaxCandidates int `json:"max_candidates,omitempty"`
+}
+
+// normalized returns the request with every defaulted field made explicit,
+// so semantically identical requests share one cache key.
+func (r Request) normalized() Request {
+	if r.Budget == 0 {
+		r.Budget = 15
+	}
+	if r.MaxInputs == 0 {
+		r.MaxInputs = 5
+	}
+	if r.MaxOutputs == 0 {
+		r.MaxOutputs = 3
+	}
+	if r.SelectMode == "" {
+		r.SelectMode = "greedy"
+	}
+	return r
+}
+
+// selectMode maps the wire name onto cfu.SelectMode, mirroring iscgen's
+// -mode flag.
+func (r Request) selectMode() (cfu.SelectMode, error) {
+	switch r.SelectMode {
+	case "greedy":
+		return cfu.GreedyRatio, nil
+	case "value":
+		return cfu.GreedyValue, nil
+	case "dp":
+		return cfu.Knapsack, nil
+	}
+	return 0, fmt.Errorf("unknown select_mode %q (want greedy, value, or dp)", r.SelectMode)
+}
+
+// toConfig translates a normalized request into the pipeline configuration.
+// The caller supplies the execution-environment fields (Ctx, Workers,
+// Spare, Telemetry) — they are deliberately not part of the cache identity.
+func (r Request) toConfig() (core.Config, error) {
+	mode, err := r.selectMode()
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
+		Budget:           r.Budget,
+		SelectMode:       mode,
+		UseVariants:      r.UseVariants,
+		UseOpcodeClasses: r.UseOpcodeClasses,
+		MultiFunction:    r.MultiFunction,
+		Optimize:         r.Optimize,
+		Verify:           r.Verify,
+		MaxCandidates:    r.MaxCandidates,
+	}
+	cfg.Constraints.MaxInputs = r.MaxInputs
+	cfg.Constraints.MaxOutputs = r.MaxOutputs
+	return cfg, nil
+}
+
+// deadline resolves the request's pipeline deadline against the server
+// default.
+func (r Request) deadline(def time.Duration) time.Duration {
+	if r.DeadlineMS > 0 {
+		return time.Duration(r.DeadlineMS) * time.Millisecond
+	}
+	return def
+}
+
+// cacheKey is the canonical content hash of (program, configuration): the
+// program's semantic fingerprint (ir.Fingerprint, invariant under pure-op
+// reordering and ID renumbering) combined with every configuration field
+// that can change the response. Requests with equal keys provably produce
+// byte-identical responses, which is what makes the cache sound.
+func (r Request) cacheKey(p *ir.Program) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "iscd/v1\nprogram %s\nbudget %g\nports %d/%d\nmode %s\n",
+		ir.Fingerprint(p), r.Budget, r.MaxInputs, r.MaxOutputs, r.SelectMode)
+	fmt.Fprintf(h, "variants %t classes %t multi %t opt %t verify %t\n",
+		r.UseVariants, r.UseOpcodeClasses, r.MultiFunction, r.Optimize, r.Verify)
+	fmt.Fprintf(h, "deadline_ms %d max_candidates %d\n", r.DeadlineMS, r.MaxCandidates)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildHashKernel emits the same two-block DFG with the pure ops of the hot
+// block in a caller-chosen order and arbitrary op IDs.
+func buildHashKernel(reordered bool) *ir.Program {
+	p := ir.NewProgram("kernel")
+	b := p.AddBlock("hot", 5000)
+	x, y := b.Arg(ir.R(1)), b.Arg(ir.R(2))
+	var rot, masked ir.Operand
+	if reordered {
+		masked = b.And(y, b.Imm(0xFF))
+		rot = b.Rotl(x, b.Imm(7))
+	} else {
+		rot = b.Rotl(x, b.Imm(7))
+		masked = b.And(y, b.Imm(0xFF))
+	}
+	b.Def(ir.R(3), b.Xor(rot, masked))
+	tail := p.AddBlock("tail", 100)
+	tail.Def(ir.R(4), tail.Add(tail.Arg(ir.R(3)), tail.Imm(1)))
+	if reordered {
+		// Renumber IDs too: identity must be structural, not positional.
+		for _, op := range b.Ops {
+			op.ID += 1000
+		}
+	}
+	return p
+}
+
+// Two semantically identical programs whose blocks list the DFG in
+// different orders (and with different op IDs) must share one cache key —
+// that is what makes resubmission after cosmetic edits a cache hit.
+func TestCacheKeyCanonicalizesNodeOrder(t *testing.T) {
+	req := Request{Budget: 10}.normalized()
+	a, c := buildHashKernel(false), buildHashKernel(true)
+	if a.String() == c.String() {
+		t.Fatal("test is vacuous: programs have identical text")
+	}
+	if req.cacheKey(a) != req.cacheKey(c) {
+		t.Error("reordered-but-identical programs produced different cache keys")
+	}
+}
+
+func TestCacheKeySensitiveToProgram(t *testing.T) {
+	req := Request{}.normalized()
+	base := req.cacheKey(buildHashKernel(false))
+	p := buildHashKernel(false)
+	p.Blocks[0].Weight = 4999
+	if req.cacheKey(p) == base {
+		t.Error("profile-weight change did not change the cache key")
+	}
+}
+
+// Every configuration field of the request must feed the key: changing any
+// one of them is different work and must never alias a cached result.
+func TestCacheKeySensitiveToEveryConfigField(t *testing.T) {
+	p := buildHashKernel(false)
+	base := Request{}.normalized().cacheKey(p)
+	mutations := map[string]func(*Request){
+		"budget":             func(r *Request) { r.Budget = 7 },
+		"max_inputs":         func(r *Request) { r.MaxInputs = 4 },
+		"max_outputs":        func(r *Request) { r.MaxOutputs = 2 },
+		"select_mode":        func(r *Request) { r.SelectMode = "dp" },
+		"use_variants":       func(r *Request) { r.UseVariants = true },
+		"use_opcode_classes": func(r *Request) { r.UseOpcodeClasses = true },
+		"multi_function":     func(r *Request) { r.MultiFunction = true },
+		"optimize":           func(r *Request) { r.Optimize = true },
+		"verify":             func(r *Request) { r.Verify = true },
+		"deadline_ms":        func(r *Request) { r.DeadlineMS = 250 },
+		"max_candidates":     func(r *Request) { r.MaxCandidates = 100 },
+	}
+	seen := map[string]string{}
+	for label, mutate := range mutations {
+		r := Request{}.normalized()
+		mutate(&r)
+		key := r.cacheKey(p)
+		if key == base {
+			t.Errorf("changing %s did not change the cache key", label)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s and %s collide on one key", label, prev)
+		}
+		seen[key] = label
+	}
+}
+
+// Spelled-out defaults and zero values are the same request.
+func TestCacheKeyNormalizesDefaults(t *testing.T) {
+	p := buildHashKernel(false)
+	implicit := Request{}.normalized().cacheKey(p)
+	explicit := Request{Budget: 15, MaxInputs: 5, MaxOutputs: 3, SelectMode: "greedy"}.normalized().cacheKey(p)
+	if implicit != explicit {
+		t.Error("zero-valued and explicitly-defaulted requests produced different keys")
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// An injected panic in one request's pipeline must become a 500 with the
+// failure identity, leave the daemon serving, and never poison the cache.
+func TestInjectedPanicIsContained(t *testing.T) {
+	_, tel, ts := newTestServer(t, Config{})
+	restore, err := faultinject.Enable("server:crc=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postCustomize(t, ts.URL, `{"benchmark":"crc","budget":5}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("poisoned request: status %d, want 500: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("500 body is not JSON: %s", body)
+	}
+	if !strings.Contains(e.Error, "panic in customize") || !strings.Contains(e.Error, "crc") {
+		t.Errorf("panic error does not name the failing request: %q", e.Error)
+	}
+	if c := counter(tel, "server.panics"); c != 1 {
+		t.Errorf("server.panics = %d, want 1", c)
+	}
+
+	// Other benchmarks are unaffected while the fault is armed.
+	if resp, body := postCustomize(t, ts.URL, `{"benchmark":"sha","budget":5}`); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthy benchmark alongside a poisoned one: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Once the fault clears, the previously poisoned request succeeds: the
+	// failure was not cached.
+	restore()
+	resp2, _ := postCustomize(t, ts.URL, `{"benchmark":"crc","budget":5}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("recovered request: status %d, want 200", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Iscd-Cache"); got != "miss" {
+		t.Errorf("recovered request cache state = %q, want miss (failures are uncacheable)", got)
+	}
+}
+
+func TestInjectedErrorIsReported(t *testing.T) {
+	_, tel, ts := newTestServer(t, Config{})
+	restore, err := faultinject.Enable("server:url=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	resp, body := postCustomize(t, ts.URL, `{"benchmark":"url","budget":5}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected error: status %d, want 500: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "injected error at server:url") {
+		t.Errorf("error body does not carry the injected failure: %s", body)
+	}
+	if c := counter(tel, "server.faults"); c != 1 {
+		t.Errorf("server.faults = %d, want 1", c)
+	}
+	if fired := faultinject.Fired("server", "url"); fired != 1 {
+		t.Errorf("fault fired %d times, want 1", fired)
+	}
+}
+
+// Wildcard faults cover the whole server site, mirroring how the sweep
+// robustness suite exercises the batch pipeline.
+func TestWildcardServerFault(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	restore, err := faultinject.Enable("server:*=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	for _, bench := range []string{"crc", "sha"} {
+		resp, _ := postCustomize(t, ts.URL, `{"benchmark":"`+bench+`","budget":5}`)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Errorf("%s: status %d, want 500 under wildcard fault", bench, resp.StatusCode)
+		}
+	}
+}

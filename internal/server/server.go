@@ -1,0 +1,444 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/explore"
+	"repro/internal/faultinject"
+	"repro/internal/ir"
+	"repro/internal/mdes"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// maxRequestBytes bounds a customize request body (programs are text; the
+// largest seed benchmark is well under 100 KiB).
+const maxRequestBytes = 16 << 20
+
+// Config parameterizes a Server. The zero value serves with one pipeline
+// token per CPU, a 256-entry cache, and no default deadline.
+type Config struct {
+	// MaxConcurrent is the pipeline token budget: the number of goroutines
+	// that may be running customization work at once, shared between
+	// admitted requests and their block-exploration workers (0 = one per
+	// CPU). Requests beyond the budget queue at admission.
+	MaxConcurrent int
+	// CacheEntries is the LRU result-cache capacity (0 = 256).
+	CacheEntries int
+	// DefaultDeadline bounds each request's pipeline time when the request
+	// does not set deadline_ms (0 = unbounded). Expiry yields a truncated
+	// best-so-far response, not an error.
+	DefaultDeadline time.Duration
+	// Telemetry receives the server's counters, gauges and spans (nil = a
+	// fresh registry, which /metrics renders either way).
+	Telemetry *telemetry.Registry
+}
+
+// Server is the customization service: the full paper pipeline behind an
+// HTTP/JSON API with a content-addressed result cache, request coalescing,
+// bounded admission, and panic containment. Create one with New, mount
+// Handler on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	tel      *telemetry.Registry
+	tokens   *explore.Tokens
+	cache    *resultCache
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	inflight map[string]*call
+
+	wg sync.WaitGroup
+}
+
+// call is one in-flight pipeline run; followers of a coalesced request
+// wait on done and then serve the leader's bytes.
+type call struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 256
+	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New("iscd")
+	}
+	s := &Server{
+		cfg:      cfg,
+		tel:      tel,
+		tokens:   explore.NewTokens(cfg.MaxConcurrent),
+		cache:    newResultCache(cfg.CacheEntries),
+		mux:      http.NewServeMux(),
+		inflight: make(map[string]*call),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("/v1/customize", s.handleCustomize)
+	return s
+}
+
+// Handler returns the HTTP handler serving the iscd API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new pipeline runs are refused with 503
+// (cache hits are still served — they cost nothing), and Shutdown returns
+// once every in-flight run has delivered its response, or with ctx's error
+// if the context expires first. Call http.Server.Shutdown alongside to
+// stop accepting connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// The drain flag flips under the inflight mutex: a leader either
+	// completes its wg.Add before this lock (and is waited for) or sees
+	// draining afterwards (and is refused), so Add never races Wait.
+	s.mu.Lock()
+	s.draining.Store(true)
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Response is the JSON body of a successful POST /v1/customize: the
+// generated machine description and the compilation report for the input
+// program recompiled onto its own extended machine. Identical requests
+// produce byte-identical responses (the encoder is deterministic and maps
+// serialize in sorted key order), which makes the result cache observable:
+// a cached reply is literally the bytes of the first one.
+type Response struct {
+	// Source names the customized program.
+	Source string `json:"source"`
+	// Speedup is the headline cycles(baseline)/cycles(custom) ratio.
+	Speedup float64 `json:"speedup"`
+	// Truncated reports that an anytime budget (the request deadline or
+	// max_candidates) expired and the result is best-so-far, not
+	// exhaustive. Truncated responses are never cached.
+	Truncated bool `json:"truncated,omitempty"`
+	// MDES is the generated machine description.
+	MDES *mdes.MDES `json:"mdes"`
+	// Report is the full cycle-accounting report.
+	Report *compile.Report `json:"report"`
+}
+
+// errorResponse is the JSON body of every non-200 reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// BenchmarkInfo is one entry of GET /v1/benchmarks.
+type BenchmarkInfo struct {
+	// Name and Domain identify the benchmark (paper order, four domains).
+	Name   string `json:"name"`
+	Domain string `json:"domain"`
+	// Description says which kernel(s) were lowered.
+	Description string `json:"description"`
+	// Blocks and Ops size the program.
+	Blocks int `json:"blocks"`
+	Ops    int `json:"ops"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, status, append(body, '\n'))
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "want GET")
+		return
+	}
+	var out []BenchmarkInfo
+	for _, b := range workloads.All() {
+		out = append(out, BenchmarkInfo{
+			Name:        b.Name,
+			Domain:      b.Domain,
+			Description: b.Description,
+			Blocks:      len(b.Program.Blocks),
+			Ops:         b.Program.NumOps(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics renders the telemetry registry as a flat, sorted,
+// Prometheus-style text page: one `iscd_<name> <value>` line per counter
+// and gauge (dots become underscores), plus per-span count/wall/cpu lines
+// and the cache occupancy.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.tel.Snapshot()
+	var sb strings.Builder
+	sb.WriteString("iscd_up 1\n")
+	fmt.Fprintf(&sb, "iscd_cache_entries %d\n", s.cache.len())
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "iscd_%s %d\n", metricName(name), snap.Counters[name])
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "iscd_%s %g\n", metricName(name), snap.Gauges[name])
+	}
+	for _, sp := range snap.Spans {
+		fmt.Fprintf(&sb, "iscd_span_%s_count %d\n", metricName(sp.Name), sp.Count)
+		fmt.Fprintf(&sb, "iscd_span_%s_wall_ns %d\n", metricName(sp.Name), sp.WallNS)
+		fmt.Fprintf(&sb, "iscd_span_%s_cpu_ns %d\n", metricName(sp.Name), sp.CPUNS)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, sb.String())
+}
+
+func metricName(name string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+// resolveProgram turns the request's benchmark name or iscasm text into a
+// validated program, with the HTTP status to use on failure.
+func (s *Server) resolveProgram(req Request) (*ir.Program, int, error) {
+	var p *ir.Program
+	switch {
+	case req.Benchmark != "" && req.Program != "":
+		return nil, http.StatusBadRequest, fmt.Errorf("set benchmark or program, not both")
+	case req.Benchmark != "":
+		b, err := workloads.ByName(req.Benchmark)
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		p = b.Program
+	case req.Program != "":
+		parsed, err := asm.Parse(strings.NewReader(req.Program))
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		p = parsed
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("request needs a benchmark name or an iscasm program")
+	}
+	// Validation before fingerprinting: the canonical hash walks the DFG
+	// and must only see well-formed (acyclic) programs.
+	if err := ir.Validate(p); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return p, 0, nil
+}
+
+// handleCustomize is POST /v1/customize: cache lookup, coalescing, bounded
+// admission, pipeline run, deterministic encoding. The X-Iscd-Cache
+// response header says how the reply was produced ("hit", "miss", or
+// "coalesced") without perturbing the cached body bytes.
+func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "want POST")
+		return
+	}
+	s.tel.Add("server.requests", 1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request JSON: %v", err)
+		return
+	}
+	req = req.normalized()
+	p, status, err := s.resolveProgram(req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	if _, err := req.toConfig(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := req.cacheKey(p)
+	if cached, ok := s.cache.get(key); ok {
+		s.tel.Add("server.cache.hit", 1)
+		w.Header().Set("X-Iscd-Cache", "hit")
+		writeRaw(w, http.StatusOK, cached)
+		return
+	}
+	s.tel.Add("server.cache.miss", 1)
+
+	// Singleflight: exactly one goroutine runs the pipeline per key; any
+	// concurrent identical request waits for the leader's bytes.
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.tel.Add("server.coalesced", 1)
+		select {
+		case <-c.done:
+			w.Header().Set("X-Iscd-Cache", "coalesced")
+			writeRaw(w, c.status, c.body)
+		case <-r.Context().Done():
+			// The follower's client went away; the leader keeps running.
+		}
+		return
+	}
+	if s.draining.Load() {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.wg.Add(1)
+	s.tel.MaxGauge("server.inflight.max", float64(len(s.inflight)))
+	s.mu.Unlock()
+
+	c.status, c.body = s.run(req, p, key)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(c.done)
+	s.wg.Done()
+
+	w.Header().Set("X-Iscd-Cache", "miss")
+	writeRaw(w, c.status, c.body)
+}
+
+// run executes the pipeline for one admitted request behind the panic
+// fence. The run's context is detached from the leader's HTTP request (a
+// coalesced follower must not die with the leader's connection) and
+// bounded only by the request deadline; expiry surfaces as a truncated
+// best-so-far response via the anytime-budget machinery.
+func (s *Server) run(req Request, p *ir.Program, key string) (status int, body []byte) {
+	defer s.tel.StartSpan("server.customize")()
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			pe := &experiment.PanicError{Job: -1, Context: fmt.Sprintf("customize %q", p.Name), Value: r, Stack: buf}
+			s.tel.Add("server.panics", 1)
+			status = http.StatusInternalServerError
+			b, _ := json.MarshalIndent(errorResponse{Error: fmt.Sprintf("panic in customize %q: %v", p.Name, pe.Value)}, "", "  ")
+			body = append(b, '\n')
+		}
+	}()
+
+	ctx := context.Background()
+	if d := req.deadline(s.cfg.DefaultDeadline); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	// The injection point sits inside the deadline so an injected slowdown
+	// models a slow pipeline: the robustness suite proves a stalled run
+	// still yields a truncated best-so-far response within its deadline.
+	if err := faultinject.Fire("server", p.Name); err != nil {
+		s.tel.Add("server.faults", 1)
+		return marshalError(http.StatusInternalServerError, err)
+	}
+
+	// Admission: hold one pipeline token for the duration of the run. A
+	// deadline that expires while queued is not an error — the pipeline
+	// runs with the expired context and returns its (empty) best-so-far
+	// result tagged truncated, which costs nothing.
+	if s.tokens.Acquire(ctx) {
+		defer s.tokens.Release()
+	}
+
+	cfg, err := req.toConfig()
+	if err != nil {
+		return marshalError(http.StatusBadRequest, err)
+	}
+	cfg.Ctx = ctx
+	cfg.Workers = s.cfg.MaxConcurrent
+	cfg.Spare = s.tokens
+	cfg.Telemetry = s.tel
+
+	res, err := core.Customize(p, cfg)
+	if err != nil {
+		s.tel.Add("server.errors", 1)
+		return marshalError(http.StatusInternalServerError, err)
+	}
+	resp := Response{
+		Source:    res.Report.Source,
+		Speedup:   res.Report.Speedup,
+		Truncated: res.Report.Truncated,
+		MDES:      res.MDES,
+		Report:    res.Report,
+	}
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return marshalError(http.StatusInternalServerError, err)
+	}
+	b = append(b, '\n')
+	if resp.Truncated {
+		// A truncated result depends on where the clock cut the search, so
+		// caching it would freeze one timing accident as the answer.
+		s.tel.Add("server.truncated", 1)
+		s.tel.Add("server.cache.skip_truncated", 1)
+	} else {
+		s.cache.put(key, b)
+		s.tel.Add("server.cache.store", 1)
+	}
+	return http.StatusOK, b
+}
+
+func marshalError(status int, err error) (int, []byte) {
+	b, _ := json.MarshalIndent(errorResponse{Error: err.Error()}, "", "  ")
+	return status, append(b, '\n')
+}

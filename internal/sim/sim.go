@@ -1,8 +1,3 @@
-// Package sim is a functional simulator for the generic RISC IR, including
-// inserted custom instructions. It exists to prove transformations correct:
-// the compiler's pattern replacement must leave every block semantically
-// identical, and the test suites check that by running blocks before and
-// after replacement on random inputs and comparing architectural state.
 package sim
 
 import (

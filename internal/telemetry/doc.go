@@ -1,0 +1,20 @@
+// Package telemetry instruments the customization pipeline: a Registry
+// collects named spans (wall-clock and CPU time), counters, and gauges
+// from every stage — explore, combine, select, compile, simulate — so
+// sweeps and the iscd service can report where time goes without any
+// stage knowing who is listening.
+//
+// Design constraints the rest of the system relies on:
+//
+//   - a nil *Registry is a valid no-op receiver, so instrumentation sites
+//     never branch on "is telemetry enabled";
+//   - aggregates are commutative (sums, counts, maxima), so totals are
+//     identical at every -j setting even though interleavings differ;
+//   - nothing ever writes to stdout — result streams stay machine-parsable.
+//
+// Main entry points: New, StartSpan / Span, Add, AddHitMiss, SetGauge /
+// MaxGauge, Snapshot, WriteJSON / ReadJSON for trace artifacts,
+// WriteSummary for the human-readable table the cmd tools print on -trace,
+// and ServePprof for the -pprof debug listener. The iscd /metrics endpoint
+// renders a Snapshot in Prometheus text format.
+package telemetry

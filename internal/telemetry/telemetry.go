@@ -1,14 +1,3 @@
-// Package telemetry instruments the customization pipeline. A Registry
-// aggregates stage spans (wall and process-CPU time), monotonic counters and
-// gauges from any number of goroutines; every aggregate is commutative
-// (sums, mins, maxes), so a parallel run records the same counter totals as
-// a serial one no matter how the scheduler interleaves jobs.
-//
-// A nil *Registry is valid everywhere and makes every method a no-op, so
-// instrumented code paths pay one nil check when telemetry is disabled.
-// Instrumentation never writes to stdout: the structured dump goes to a
-// caller-chosen file and the human summary to stderr, keeping tool output
-// byte-identical with telemetry on or off.
 package telemetry
 
 import (

@@ -1,0 +1,14 @@
+// Package vliwsim is a cycle-by-cycle executor for scheduled VLIW code.
+// Where internal/sim checks *what* a block computes, vliwsim validates
+// *when*: it replays a schedule against the machine description, enforcing
+// issue widths, operation latencies, and memory ordering, so the
+// scheduler's cycle accounting (the denominator of every paper speedup,
+// §5) is checked by an independent implementation rather than trusted.
+//
+// Main entry points: Execute replays one scheduled block and returns a
+// Trace with final state, cycle count, and slot-utilization statistics
+// (which the paper's discussion of issue-width pressure draws on);
+// ProgramCycles runs a whole program and folds in profile weights. Tests
+// cross-check these cycle counts against sched's predicted lengths and the
+// architectural state against the functional simulator.
+package vliwsim

@@ -1,10 +1,3 @@
-// Package vliwsim executes scheduled code on the VLIW baseline cycle by
-// cycle. Where internal/sim checks *what* a block computes, vliwsim checks
-// *when*: it issues each operation in its scheduled cycle, enforcing issue
-// widths, result latencies and memory ordering, and evaluates operand
-// values at issue time. It independently validates the list scheduler and
-// the cycle accounting behind every speedup number, and reports issue-slot
-// utilization.
 package vliwsim
 
 import (

@@ -1,0 +1,17 @@
+// Package workloads provides the paper's 13 benchmarks (§5, Table 1) as IR
+// programs: blowfish, crc, des3, md5, rijndael, sha (encryption); url,
+// df/dh/dr routing kernels (network); and gsmencode, mpeg2dec/enc-style
+// media kernels. The paper ran MiBench/NetBench/MediaBench sources through
+// the Trimaran toolchain; that infrastructure is unavailable, so these are
+// the real kernels hand-lowered to the generic RISC IR with modeled
+// profile weights (DESIGN.md §2). What matters for reproducing the paper's
+// trends is preserved: the domains differ structurally (wide logical-op
+// dataflow in encryption, short address-arithmetic chains in network,
+// multiply-accumulate chains in media), which is what drives the
+// per-domain speedup differences in Figure 7.
+//
+// Main entry points: ByName / All / Names / Domains enumerate the suite
+// (the service's GET /v1/benchmarks is a thin view over All); Load reads
+// an external .iscasm benchmark; OpMix summarizes a program's opcode
+// distribution for the workload-characterization tables.
+package workloads

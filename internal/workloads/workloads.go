@@ -1,17 +1,3 @@
-// Package workloads provides the paper's thirteen benchmarks as IR
-// programs: the real computational kernels of each application,
-// hand-lowered to the generic RISC IR with profile weights modeled on their
-// hot loops.
-//
-// The paper compiled MiBench, NetBench and MediaBench C sources through
-// Trimaran; those suites and that toolchain are substituted here by direct
-// kernels (see DESIGN.md §2). What the customization system consumes is
-// only the dataflow-graph shape and the profile weights, and both are
-// preserved: the encryption kernels are wide arithmetic/logical graphs
-// punctuated by table loads, the network and image kernels are dominated by
-// memory operations and branches, and the audio kernels are deep
-// compare/select/shift chains — exactly the structural differences the
-// paper's results hinge on.
 package workloads
 
 import (
