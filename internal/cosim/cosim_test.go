@@ -1,0 +1,271 @@
+package cosim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hdl"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+func in(i int) graph.Ref   { return graph.Ref{Kind: graph.RefInput, Index: i} }
+func node(i int) graph.Ref { return graph.Ref{Kind: graph.RefNode, Index: i} }
+func imm(i int) graph.Ref  { return graph.Ref{Kind: graph.RefImm, Index: i} }
+
+// TestCheckHandShapes drives the differential harness over hand-built
+// patterns covering every combinational opcode family, including the
+// shift/rotate mask idioms, signed comparisons and width changes whose
+// Verilog lowering is least like the Go reference.
+func TestCheckHandShapes(t *testing.T) {
+	lib := hwlib.Default()
+	shapes := map[string]*graph.Shape{
+		"shl-and-add": {
+			Nodes: []graph.Node{
+				{Code: ir.Shl, Ins: []graph.Ref{in(0), imm(0)}},
+				{Code: ir.And, Ins: []graph.Ref{node(0), in(1)}},
+				{Code: ir.Add, Ins: []graph.Ref{node(1), in(2)}},
+			},
+			NumInputs: 3, NumImms: 1, Outputs: []int{2},
+		},
+		"rotl-xor": {
+			Nodes: []graph.Node{
+				{Code: ir.Rotl, Ins: []graph.Ref{in(0), in(1)}},
+				{Code: ir.Xor, Ins: []graph.Ref{node(0), in(2)}},
+			},
+			NumInputs: 3, Outputs: []int{1},
+		},
+		"rotr-sar": {
+			Nodes: []graph.Node{
+				{Code: ir.Rotr, Ins: []graph.Ref{in(0), in(1)}},
+				{Code: ir.Sar, Ins: []graph.Ref{node(0), in(1)}},
+			},
+			NumInputs: 2, Outputs: []int{0, 1},
+		},
+		"cmps-select": {
+			Nodes: []graph.Node{
+				{Code: ir.CmpLtS, Ins: []graph.Ref{in(0), in(1)}},
+				{Code: ir.Select, Ins: []graph.Ref{node(0), in(0), in(1)}},
+				{Code: ir.CmpLeU, Ins: []graph.Ref{in(1), node(1)}},
+			},
+			NumInputs: 2, Outputs: []int{1, 2},
+		},
+		"sext-mul-sub": {
+			Nodes: []graph.Node{
+				{Code: ir.SextB, Ins: []graph.Ref{in(0)}},
+				{Code: ir.SextH, Ins: []graph.Ref{in(1)}},
+				{Code: ir.Mul, Ins: []graph.Ref{node(0), node(1)}},
+				{Code: ir.Rsb, Ins: []graph.Ref{node(2), in(2)}},
+			},
+			NumInputs: 3, Outputs: []int{3},
+		},
+		"zext-bic-not-move": {
+			Nodes: []graph.Node{
+				{Code: ir.ZextB, Ins: []graph.Ref{in(0)}},
+				{Code: ir.ZextH, Ins: []graph.Ref{in(1)}},
+				{Code: ir.AndNot, Ins: []graph.Ref{node(0), node(1)}},
+				{Code: ir.Not, Ins: []graph.Ref{node(2)}},
+				{Code: ir.Move, Ins: []graph.Ref{node(3)}},
+			},
+			NumInputs: 2, Outputs: []int{4},
+		},
+		"const-pins": {
+			// A subsumed-variant style pattern: pinned identity constants,
+			// including a constant feeding a width change (the fold path).
+			Nodes: []graph.Node{
+				{Code: ir.Add, Ins: []graph.Ref{in(0), {Kind: graph.RefConst, Val: 0}}},
+				{Code: ir.SextB, Ins: []graph.Ref{{Kind: graph.RefConst, Val: 0x1A5}}},
+				{Code: ir.Or, Ins: []graph.Ref{node(0), node(1)}},
+			},
+			NumInputs: 1, Outputs: []int{2},
+		},
+		"cmp-eq-ne-chain": {
+			Nodes: []graph.Node{
+				{Code: ir.CmpEq, Ins: []graph.Ref{in(0), in(1)}},
+				{Code: ir.CmpNe, Ins: []graph.Ref{in(0), in(1)}},
+				{Code: ir.CmpLeS, Ins: []graph.Ref{in(0), in(1)}},
+				{Code: ir.CmpLtU, Ins: []graph.Ref{node(0), node(2)}},
+				{Code: ir.Or, Ins: []graph.Ref{node(3), node(1)}},
+			},
+			NumInputs: 2, Outputs: []int{4},
+		},
+		"shr-sub-shift-edges": {
+			Nodes: []graph.Node{
+				{Code: ir.Shr, Ins: []graph.Ref{in(0), in(1)}},
+				{Code: ir.Sub, Ins: []graph.Ref{node(0), imm(0)}},
+				{Code: ir.Shl, Ins: []graph.Ref{node(1), in(1)}},
+			},
+			NumInputs: 2, NumImms: 1, Outputs: []int{2},
+		},
+	}
+	for name, s := range shapes {
+		if err := Check(s, lib, Options{Trials: 512, Seed: 7}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestCheckClassMux proves the function-select path: a multi-function node
+// must agree with the reference for every fsel setting, where the
+// reference swaps in the documented alternate opcode.
+func TestCheckClassMux(t *testing.T) {
+	lib := hwlib.Default()
+	s := &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.Shl, Ins: []graph.Ref{in(0), imm(0)}},
+			{Code: ir.Add, Class: uint8(hwlib.ClassAddSub), Ins: []graph.Ref{node(0), in(1)}},
+			{Code: ir.And, Class: uint8(hwlib.ClassLogical), Ins: []graph.Ref{node(1), in(2)}},
+		},
+		NumInputs: 3, NumImms: 1, Outputs: []int{2},
+	}
+	n, err := hdl.BuildNetlist("mux", s, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.SelBits != 2 {
+		t.Fatalf("SelBits = %d, want 2", n.SelBits)
+	}
+	for _, sel := range n.Sels {
+		if sel.Primary == sel.Alt {
+			t.Fatalf("sel bit on node %d muxes %s against itself", sel.Node, sel.Primary)
+		}
+	}
+	if err := CheckNetlist(n, s, Options{Trials: 512, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckDetectsMutation proves the harness is not vacuous: tampering
+// with one wire of an otherwise-correct netlist must produce a Mismatch
+// that carries the replay stimulus.
+func TestCheckDetectsMutation(t *testing.T) {
+	lib := hwlib.Default()
+	s := &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.Add, Ins: []graph.Ref{in(0), in(1)}},
+			{Code: ir.Xor, Ins: []graph.Ref{node(0), in(2)}},
+		},
+		NumInputs: 3, Outputs: []int{1},
+	}
+	mutations := map[string]func(n *hdl.Netlist){
+		"add becomes sub": func(n *hdl.Netlist) {
+			n.Wires[0].Expr = hdl.Bin{Op: hdl.OpSub, A: hdl.Sig{Kind: hdl.SigInput, Index: 0}, B: hdl.Sig{Kind: hdl.SigInput, Index: 1}}
+		},
+		"operand swapped to wrong port": func(n *hdl.Netlist) {
+			n.Wires[1].Expr = hdl.Bin{Op: hdl.OpXor, A: hdl.Sig{Kind: hdl.SigWire, Index: 0}, B: hdl.Sig{Kind: hdl.SigInput, Index: 1}}
+		},
+		"output rewired": func(n *hdl.Netlist) {
+			n.Outputs[0] = 0
+		},
+	}
+	for label, mutate := range mutations {
+		n, err := hdl.BuildNetlist("dut", s, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(n)
+		err = CheckNetlist(n, s, Options{Trials: 64, Seed: 1})
+		var mm *Mismatch
+		if !errors.As(err, &mm) {
+			t.Errorf("%s: err = %v, want a *Mismatch", label, err)
+			continue
+		}
+		if len(mm.In) != 3 || mm.Module != "dut" || !strings.Contains(mm.Error(), "out0") {
+			t.Errorf("%s: mismatch lacks replay detail: %v", label, mm)
+		}
+	}
+}
+
+// TestEvalNetlistInputErrors checks the interpreter rejects stimulus that
+// does not match the module interface instead of indexing past it.
+func TestEvalNetlistInputErrors(t *testing.T) {
+	lib := hwlib.Default()
+	s := &graph.Shape{
+		Nodes:     []graph.Node{{Code: ir.Add, Ins: []graph.Ref{in(0), imm(0)}}},
+		NumInputs: 1, NumImms: 1, Outputs: []int{0},
+	}
+	n, err := hdl.BuildNetlist("dut", s, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalNetlist(n, Inputs{In: nil, Imm: []uint32{1}}); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if _, err := EvalNetlist(n, Inputs{In: []uint32{1}, Imm: nil}); err == nil {
+		t.Error("missing immediates accepted")
+	}
+	if _, err := EvalNetlist(n, Inputs{In: []uint32{1}, Imm: []uint32{2}}); err != nil {
+		t.Errorf("valid stimulus rejected: %v", err)
+	}
+}
+
+// sweepConfigs are the pipeline configurations the exhaustive benchmark
+// sweep runs: the paper's default selection and the multi-function merge,
+// which is the only config that produces class (fsel) nodes.
+func sweepConfigs() map[string]core.Config {
+	return map[string]core.Config{
+		"default":   {Budget: 15, Lib: hwlib.Default()},
+		"multifunc": {Budget: 15, Lib: hwlib.Default(), MultiFunction: true},
+	}
+}
+
+// TestCosimAllSelectedCFUs is the acceptance gate for the hardware loop:
+// every CFU selected on every seed benchmark (and every subsumed variant
+// of it) must co-simulate bit-exactly against the reference semantics.
+// Memory-bearing units have no combinational datapath and are skipped the
+// same way EmitMDES skips them.
+func TestCosimAllSelectedCFUs(t *testing.T) {
+	benches := workloads.All()
+	trials := 256
+	if testing.Short() {
+		// One benchmark per domain keeps the -short wall clock low.
+		seen := map[string]bool{}
+		var subset []*workloads.Benchmark
+		for _, b := range benches {
+			if !seen[b.Domain] {
+				seen[b.Domain] = true
+				subset = append(subset, b)
+			}
+		}
+		benches, trials = subset, 64
+	}
+	checked, skipped, muxed := 0, 0, 0
+	for _, b := range benches {
+		for label, cfg := range sweepConfigs() {
+			m, err := core.GenerateMDES(b.Program, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, label, err)
+			}
+			for i := range m.CFUs {
+				spec := &m.CFUs[i]
+				shapes := append([]*graph.Shape{spec.Shape}, spec.Variants...)
+				for vi, s := range shapes {
+					if s.UsesMemory() {
+						skipped++
+						continue
+					}
+					n, err := hdl.BuildNetlist(hdl.ModuleName(spec.Name), s, cfg.Lib)
+					if err != nil {
+						t.Errorf("%s/%s: %s variant %d: lowering: %v", b.Name, label, spec.Name, vi, err)
+						continue
+					}
+					if n.SelBits > 0 {
+						muxed++
+					}
+					if err := CheckNetlist(n, s, Options{Trials: trials, Seed: int64(i*31 + vi)}); err != nil {
+						t.Errorf("%s/%s: variant %d: %v", b.Name, label, vi, err)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("sweep checked no CFU datapaths")
+	}
+	t.Logf("co-simulated %d datapaths (%d multi-function, %d memory units skipped)", checked, muxed, skipped)
+}

@@ -1,0 +1,39 @@
+package cosim
+
+import (
+	"testing"
+
+	"repro/internal/hdl"
+	"repro/internal/hwlib"
+)
+
+// FuzzCosim is the co-simulation property over arbitrary valid shapes:
+// whatever pattern the bytes decode to, lowering either fails with an
+// error (memory, control, Custom, bad classes) or produces a netlist that
+// agrees bit-exactly with the ir.EvalScalar reference on every trial. A
+// panic or a mismatch is a real bug in the emitter or the interpreter.
+func FuzzCosim(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0xFF, 0x7F, 13, 14, 3, 1, 4, 1, 5, 9, 2, 6})
+	f.Add([]byte{2, 1, 5, 16, 2, 0, 31, 7, 32, 0x80, 0x80, 0, 1})
+	f.Add([]byte{0, 2, 7, 20, 1, 0, 0, 21, 1, 1, 0, 22, 2, 0, 1, 0})
+	lib := hwlib.Default()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := ShapeFromBytes(data)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generator produced an invalid shape: %v", err)
+		}
+		n, err := hdl.BuildNetlist("fuzz", s, lib)
+		if err != nil {
+			return // no combinational form; an error is the contract
+		}
+		seed := int64(len(data))
+		for _, b := range data {
+			seed = seed*31 + int64(b)
+		}
+		if err := CheckNetlist(n, s, Options{Trials: 24, Seed: seed}); err != nil {
+			t.Fatalf("differential mismatch on %s:\n%v", s, err)
+		}
+	})
+}

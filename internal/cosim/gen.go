@@ -1,0 +1,71 @@
+package cosim
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// ShapeFromBytes deterministically decodes a byte stream into a CFU
+// pattern. Node references are always topological and indices in range,
+// so the result passes graph.Shape.Validate, but the opcodes themselves
+// range over the whole table (including memory, control, Custom and
+// out-of-range values) and nodes are sometimes marked with arbitrary
+// hardware classes — exactly the population the emission and
+// co-simulation fuzz targets need: lowering must either succeed and then
+// agree with the reference semantics, or fail with an error, never panic.
+func ShapeFromBytes(data []byte) *graph.Shape {
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		v := int(data[0])
+		data = data[1:]
+		return v
+	}
+	s := &graph.Shape{
+		NumInputs: next()%5 + 1,
+		NumImms:   next() % 3,
+	}
+	nNodes := next()%8 + 1
+	for i := 0; i < nNodes; i++ {
+		code := ir.Opcode(next() % (int(ir.MaxOpcode) + 4))
+		arity := code.Arity()
+		if arity < 0 {
+			arity = next() % 4
+		}
+		n := graph.Node{Code: code}
+		for a := 0; a < arity; a++ {
+			switch next() % 5 {
+			case 0, 1:
+				if i > 0 {
+					n.Ins = append(n.Ins, graph.Ref{Kind: graph.RefNode, Index: next() % i})
+					continue
+				}
+				fallthrough
+			case 2:
+				n.Ins = append(n.Ins, graph.Ref{Kind: graph.RefInput, Index: next() % s.NumInputs})
+			case 3:
+				if s.NumImms > 0 {
+					n.Ins = append(n.Ins, graph.Ref{Kind: graph.RefImm, Index: next() % s.NumImms})
+				} else {
+					n.Ins = append(n.Ins, graph.Ref{Kind: graph.RefInput, Index: next() % s.NumInputs})
+				}
+			default:
+				val := uint32(next()) | uint32(next())<<8 | uint32(next())<<16 | uint32(next())<<24
+				n.Ins = append(n.Ins, graph.Ref{Kind: graph.RefConst, Val: val})
+			}
+		}
+		if next()%5 == 0 {
+			n.Class = uint8(next() % 8)
+		}
+		s.Nodes = append(s.Nodes, n)
+	}
+	// The last node is always an output; earlier nodes join by coin flip.
+	for i := 0; i < nNodes-1; i++ {
+		if next()%3 == 0 {
+			s.Outputs = append(s.Outputs, i)
+		}
+	}
+	s.Outputs = append(s.Outputs, nNodes-1)
+	return s
+}

@@ -1,0 +1,273 @@
+package cosim
+
+import (
+	"fmt"
+
+	"repro/internal/hdl"
+)
+
+// Inputs binds concrete values to a netlist's ports for one evaluation.
+type Inputs struct {
+	// In and Imm drive the in<i> and imm<i> ports.
+	In  []uint32
+	Imm []uint32
+	// FSel drives the function-select port (bit k steers fsel[k]).
+	FSel uint32
+}
+
+// value is one evaluated Verilog expression: a bit pattern with an
+// explicit width, plus the $signed mark that steers comparisons and >>>.
+type value struct {
+	bits   uint64
+	width  int
+	signed bool
+}
+
+func maskBits(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// sext sign-extends a value from its own width to int64.
+func (v value) sext() int64 {
+	if v.width <= 0 || v.width >= 64 {
+		return int64(v.bits)
+	}
+	sign := uint64(1) << uint(v.width-1)
+	return int64((v.bits ^ sign)) - int64(sign)
+}
+
+// EvalNetlist evaluates the netlist's wires in order and returns the
+// output-port values. It implements the 2-state semantics of the Verilog
+// subset the emitter produces (sized literals, part selects, replication,
+// concatenation, $signed, shifts that zero-fill past the operand width)
+// and shares no code with ir.EvalScalar, so agreement between the two is a
+// genuine differential check.
+func EvalNetlist(n *hdl.Netlist, in Inputs) ([]uint32, error) {
+	if len(in.In) < n.NumInputs {
+		return nil, fmt.Errorf("cosim: %d input values for %d ports", len(in.In), n.NumInputs)
+	}
+	if len(in.Imm) < n.NumImms {
+		return nil, fmt.Errorf("cosim: %d immediate values for %d ports", len(in.Imm), n.NumImms)
+	}
+	wires := make([]uint64, len(n.Wires))
+	for i, wv := range n.Wires {
+		v, err := evalExpr(wv.Expr, i, wires, in)
+		if err != nil {
+			return nil, fmt.Errorf("cosim: wire n%d: %w", i, err)
+		}
+		if v.width != 32 {
+			return nil, fmt.Errorf("cosim: wire n%d has width %d, want 32", i, v.width)
+		}
+		wires[i] = v.bits
+	}
+	out := make([]uint32, len(n.Outputs))
+	for k, o := range n.Outputs {
+		if o < 0 || o >= len(wires) {
+			return nil, fmt.Errorf("cosim: output %d reads wire n%d of %d", k, o, len(wires))
+		}
+		out[k] = uint32(wires[o])
+	}
+	return out, nil
+}
+
+// evalExpr evaluates one expression tree. wire is the index of the wire
+// being driven; reading a wire at or above it would break the topological
+// contract and is an error rather than a silent zero.
+func evalExpr(e hdl.Expr, wire int, wires []uint64, in Inputs) (value, error) {
+	switch x := e.(type) {
+	case hdl.Const:
+		return value{bits: uint64(x.Val) & maskBits(x.Width), width: constWidth(x)}, nil
+	case hdl.Sig:
+		switch x.Kind {
+		case hdl.SigWire:
+			if x.Index < 0 || x.Index >= wire {
+				return value{}, fmt.Errorf("reads wire n%d (not topological)", x.Index)
+			}
+			return value{bits: wires[x.Index], width: 32}, nil
+		case hdl.SigInput:
+			if x.Index < 0 || x.Index >= len(in.In) {
+				return value{}, fmt.Errorf("reads input %d of %d", x.Index, len(in.In))
+			}
+			return value{bits: uint64(in.In[x.Index]), width: 32}, nil
+		default:
+			if x.Index < 0 || x.Index >= len(in.Imm) {
+				return value{}, fmt.Errorf("reads immediate %d of %d", x.Index, len(in.Imm))
+			}
+			return value{bits: uint64(in.Imm[x.Index]), width: 32}, nil
+		}
+	case hdl.FSelBit:
+		if x.Bit < 0 || x.Bit > 31 {
+			return value{}, fmt.Errorf("fsel bit %d out of range", x.Bit)
+		}
+		return value{bits: uint64(in.FSel>>uint(x.Bit)) & 1, width: 1}, nil
+	case hdl.Bit:
+		v, err := evalExpr(x.X, wire, wires, in)
+		if err != nil {
+			return value{}, err
+		}
+		if x.Bit < 0 || x.Bit >= v.width {
+			return value{}, fmt.Errorf("bit select [%d] of %d-bit value", x.Bit, v.width)
+		}
+		return value{bits: (v.bits >> uint(x.Bit)) & 1, width: 1}, nil
+	case hdl.Slice:
+		v, err := evalExpr(x.X, wire, wires, in)
+		if err != nil {
+			return value{}, err
+		}
+		if x.Lo < 0 || x.Hi < x.Lo || x.Hi >= v.width {
+			return value{}, fmt.Errorf("part select [%d:%d] of %d-bit value", x.Hi, x.Lo, v.width)
+		}
+		w := x.Hi - x.Lo + 1
+		return value{bits: (v.bits >> uint(x.Lo)) & maskBits(w), width: w}, nil
+	case hdl.Inv:
+		v, err := evalExpr(x.X, wire, wires, in)
+		if err != nil {
+			return value{}, err
+		}
+		return value{bits: ^v.bits & maskBits(v.width), width: v.width, signed: v.signed}, nil
+	case hdl.Signed:
+		v, err := evalExpr(x.X, wire, wires, in)
+		if err != nil {
+			return value{}, err
+		}
+		v.signed = true
+		return v, nil
+	case hdl.Bin:
+		return evalBin(x, wire, wires, in)
+	case hdl.Cond:
+		c, err := evalExpr(x.If, wire, wires, in)
+		if err != nil {
+			return value{}, err
+		}
+		t, err := evalExpr(x.Then, wire, wires, in)
+		if err != nil {
+			return value{}, err
+		}
+		f, err := evalExpr(x.Else, wire, wires, in)
+		if err != nil {
+			return value{}, err
+		}
+		w := max(t.width, f.width)
+		picked := f
+		if c.bits != 0 {
+			picked = t
+		}
+		return value{bits: picked.bits & maskBits(w), width: w}, nil
+	case hdl.Repl:
+		v, err := evalExpr(x.X, wire, wires, in)
+		if err != nil {
+			return value{}, err
+		}
+		if x.N < 1 || x.N*v.width > 64 {
+			return value{}, fmt.Errorf("replication {%d{%d-bit}} out of range", x.N, v.width)
+		}
+		var acc uint64
+		for i := 0; i < x.N; i++ {
+			acc = acc<<uint(v.width) | v.bits
+		}
+		return value{bits: acc, width: x.N * v.width}, nil
+	case hdl.Concat:
+		var acc uint64
+		w := 0
+		for _, p := range x.Parts {
+			v, err := evalExpr(p, wire, wires, in)
+			if err != nil {
+				return value{}, err
+			}
+			w += v.width
+			if w > 64 {
+				return value{}, fmt.Errorf("concatenation wider than 64 bits")
+			}
+			acc = acc<<uint(v.width) | v.bits
+		}
+		return value{bits: acc, width: w}, nil
+	}
+	return value{}, fmt.Errorf("unknown expression node %T", e)
+}
+
+// constWidth guards against zero-width literals from hand-built netlists.
+func constWidth(c hdl.Const) int {
+	if c.Width <= 0 {
+		return 32
+	}
+	return c.Width
+}
+
+// evalBin applies one binary operator under Verilog width and signedness
+// rules: arithmetic and logic widen to the larger operand, shifts keep the
+// left operand's width and zero-fill (sign-fill for >>> on a $signed left
+// operand) once the amount reaches that width, and comparisons yield one
+// bit, signed only when both operands are $signed.
+func evalBin(x hdl.Bin, wire int, wires []uint64, in Inputs) (value, error) {
+	a, err := evalExpr(x.A, wire, wires, in)
+	if err != nil {
+		return value{}, err
+	}
+	b, err := evalExpr(x.B, wire, wires, in)
+	if err != nil {
+		return value{}, err
+	}
+	w := max(a.width, b.width)
+	signed := a.signed && b.signed
+	bool1 := func(v bool) (value, error) {
+		if v {
+			return value{bits: 1, width: 1}, nil
+		}
+		return value{bits: 0, width: 1}, nil
+	}
+	switch x.Op {
+	case hdl.OpAdd:
+		return value{bits: (a.bits + b.bits) & maskBits(w), width: w, signed: signed}, nil
+	case hdl.OpSub:
+		return value{bits: (a.bits - b.bits) & maskBits(w), width: w, signed: signed}, nil
+	case hdl.OpMul:
+		return value{bits: (a.bits * b.bits) & maskBits(w), width: w, signed: signed}, nil
+	case hdl.OpAnd:
+		return value{bits: a.bits & b.bits, width: w, signed: signed}, nil
+	case hdl.OpOr:
+		return value{bits: a.bits | b.bits, width: w, signed: signed}, nil
+	case hdl.OpXor:
+		return value{bits: a.bits ^ b.bits, width: w, signed: signed}, nil
+	case hdl.OpShl:
+		if b.bits >= uint64(a.width) {
+			return value{bits: 0, width: a.width, signed: a.signed}, nil
+		}
+		return value{bits: (a.bits << b.bits) & maskBits(a.width), width: a.width, signed: a.signed}, nil
+	case hdl.OpShr:
+		if b.bits >= uint64(a.width) {
+			return value{bits: 0, width: a.width, signed: a.signed}, nil
+		}
+		return value{bits: (a.bits >> b.bits) & maskBits(a.width), width: a.width, signed: a.signed}, nil
+	case hdl.OpSra:
+		if !a.signed {
+			// >>> on an unsigned operand is a logical shift in Verilog.
+			if b.bits >= uint64(a.width) {
+				return value{bits: 0, width: a.width}, nil
+			}
+			return value{bits: (a.bits >> b.bits) & maskBits(a.width), width: a.width}, nil
+		}
+		sh := b.bits
+		if sh > 63 {
+			sh = 63
+		}
+		return value{bits: uint64(a.sext()>>uint(sh)) & maskBits(a.width), width: a.width, signed: true}, nil
+	case hdl.OpEq:
+		return bool1(a.bits == b.bits)
+	case hdl.OpNe:
+		return bool1(a.bits != b.bits)
+	case hdl.OpLt:
+		if signed {
+			return bool1(a.sext() < b.sext())
+		}
+		return bool1(a.bits < b.bits)
+	case hdl.OpLe:
+		if signed {
+			return bool1(a.sext() <= b.sext())
+		}
+		return bool1(a.bits <= b.bits)
+	}
+	return value{}, fmt.Errorf("unknown binary operator %d", x.Op)
+}

@@ -1,11 +1,17 @@
-// Package hdl emits synthesizable Verilog for selected CFU datapaths.
-// This goes beyond the paper, which stopped at area/delay estimates from
-// a standard-cell flow (§3, §5): emitting RTL makes the "hardware
-// compiler" output consumable by an actual hardware team, and lets the
-// hwlib area model be sanity-checked against a real synthesis run.
+// Package hdl lowers selected CFU datapaths to a structured, synthesizable
+// netlist and renders it as Verilog, and maps a selection onto RISC-V
+// custom-opcode encodings. This goes beyond the paper, which stopped at
+// area/delay estimates from a standard-cell flow (§3, §5): emitting RTL
+// makes the "hardware compiler" output consumable by an actual hardware
+// team, and the netlist form is what internal/cosim evaluates bit-exactly
+// against ir.EvalScalar, so the emitted text is machine-checked rather
+// than asserted.
 //
-// Main entry points: EmitCFU renders one pattern graph as a combinational
-// Verilog module (inputs/outputs follow the pattern's port order); EmitMDES
-// renders every CFU in a machine description plus a dispatch wrapper.
-// cmd/iscgen exposes this via -verilog.
+// Main entry points: BuildNetlist lowers one pattern graph to a Netlist
+// (module ports, wires, per-node expression trees); Netlist.WriteVerilog
+// renders it; EmitCFU combines the two; EmitMDES renders every CFU in a
+// machine description. MapISA exports a selection as a RISC-V .isa
+// extension spec (custom-0..3 / funct3 / funct7 assignments). cmd/iscgen
+// exposes emission via -verilog; cmd/isccosim drives emission plus
+// co-simulation; iscd serves both artifacts at /v1/hdl.
 package hdl

@@ -1,0 +1,69 @@
+package hdl_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cosim"
+	"repro/internal/graph"
+	"repro/internal/hdl"
+	"repro/internal/hwlib"
+)
+
+// FuzzEmitCFU is the emission robustness target: for any decoded shape —
+// including ones deliberately corrupted into invalidity — EmitCFU either
+// writes a module or returns an error. Memory, control and unknown
+// opcodes, class nodes without enough members, and broken structural
+// invariants must all surface as errors, never as panics.
+func FuzzEmitCFU(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 1, 13, 0, 0})
+	f.Add([]byte{3, 2, 4, 40, 1, 0, 41, 2, 0, 1, 0xFF, 0xFF})
+	f.Add([]byte{2, 0, 6, 28, 0, 0, 29, 0, 1, 30, 0, 2, 57, 0, 3})
+	lib := hwlib.Default()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Split the input: the head builds a structurally valid shape, the
+		// tail optionally corrupts it so the Validate path is fuzzed too.
+		head, tail := data, []byte(nil)
+		if len(data) > 4 {
+			head, tail = data[:len(data)-4], data[len(data)-4:]
+		}
+		s := cosim.ShapeFromBytes(head)
+		corrupt(s, tail)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("EmitCFU panicked on %v: %v", s, r)
+			}
+		}()
+		_ = hdl.EmitCFU(io.Discard, "fuzz", s, lib)
+	})
+}
+
+// corrupt applies up to one structural corruption per tail byte.
+func corrupt(s *graph.Shape, tail []byte) {
+	for i, b := range tail {
+		node := int(b) % max(len(s.Nodes), 1)
+		switch b % 7 {
+		case 0: // dangling node reference (breaks topological order)
+			if len(s.Nodes[node].Ins) > 0 {
+				s.Nodes[node].Ins[0] = graph.Ref{Kind: graph.RefNode, Index: len(s.Nodes) + i}
+			}
+		case 1: // out-of-range input port
+			if len(s.Nodes[node].Ins) > 0 {
+				s.Nodes[node].Ins[0] = graph.Ref{Kind: graph.RefInput, Index: s.NumInputs + i}
+			}
+		case 2: // out-of-range output
+			s.Outputs = append(s.Outputs, len(s.Nodes)+i)
+		case 3: // duplicate output
+			if len(s.Outputs) > 0 {
+				s.Outputs = append(s.Outputs, s.Outputs[0])
+			}
+		case 4: // arity violation
+			s.Nodes[node].Ins = append(s.Nodes[node].Ins, graph.Ref{Kind: graph.RefInput, Index: 0})
+		case 5: // negative port counts
+			s.NumInputs = -1
+		case 6: // class marker with no valid members
+			s.Nodes[node].Class = b
+		}
+	}
+}

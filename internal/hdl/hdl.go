@@ -7,182 +7,19 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/hwlib"
-	"repro/internal/ir"
 	"repro/internal/mdes"
 )
 
-// EmitCFU writes one Verilog module for the pattern.
+// EmitCFU writes one Verilog module for the pattern: it lowers the shape
+// to a structured netlist (BuildNetlist) and renders it. The netlist is
+// the artifact the co-simulation harness checks, so the emitted text is
+// exactly what was differentially tested.
 func EmitCFU(w io.Writer, moduleName string, s *graph.Shape, lib *hwlib.Library) error {
-	if err := s.Validate(); err != nil {
-		return fmt.Errorf("hdl: %w", err)
+	n, err := BuildNetlist(moduleName, s, lib)
+	if err != nil {
+		return err
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "// %s: %s\n", moduleName, s.Mnemonic())
-	fmt.Fprintf(&sb, "// %d-input / %d-output custom function unit\n", s.NumInputs, len(s.Outputs))
-	fmt.Fprintf(&sb, "module %s (\n", moduleName)
-
-	var ports []string
-	for i := 0; i < s.NumInputs; i++ {
-		ports = append(ports, fmt.Sprintf("  input  wire [31:0] in%d", i))
-	}
-	for i := 0; i < s.NumImms; i++ {
-		ports = append(ports, fmt.Sprintf("  input  wire [31:0] imm%d", i))
-	}
-	selBits := 0
-	for _, n := range s.Nodes {
-		if n.Class != 0 {
-			selBits++
-		}
-	}
-	if selBits > 0 {
-		ports = append(ports, fmt.Sprintf("  input  wire [%d:0] fsel", maxInt(selBits-1, 0)))
-	}
-	for k := range s.Outputs {
-		ports = append(ports, fmt.Sprintf("  output wire [31:0] out%d", k))
-	}
-	sb.WriteString(strings.Join(ports, ",\n"))
-	sb.WriteString("\n);\n\n")
-
-	selIdx := 0
-	for i, n := range s.Nodes {
-		expr, err := nodeExpr(s, i, n, &selIdx, lib)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(&sb, "  wire [31:0] n%d = %s; // %s\n", i, expr, nodeComment(n, lib))
-	}
-	sb.WriteString("\n")
-	for k, o := range s.Outputs {
-		fmt.Fprintf(&sb, "  assign out%d = n%d;\n", k, o)
-	}
-	sb.WriteString("endmodule\n")
-	_, err := io.WriteString(w, sb.String())
-	return err
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func nodeComment(n graph.Node, lib *hwlib.Library) string {
-	if n.Class != 0 {
-		return "class " + hwlib.Class(n.Class).String()
-	}
-	return n.Code.String()
-}
-
-// refExpr renders one operand of a node.
-func refExpr(r graph.Ref) string {
-	switch r.Kind {
-	case graph.RefNode:
-		return fmt.Sprintf("n%d", r.Index)
-	case graph.RefInput:
-		return fmt.Sprintf("in%d", r.Index)
-	case graph.RefImm:
-		return fmt.Sprintf("imm%d", r.Index)
-	default:
-		return fmt.Sprintf("32'h%08x", r.Val)
-	}
-}
-
-// nodeExpr renders the combinational expression for node i.
-func nodeExpr(s *graph.Shape, i int, n graph.Node, selIdx *int, lib *hwlib.Library) (string, error) {
-	a := make([]string, len(n.Ins))
-	for k, r := range n.Ins {
-		a[k] = refExpr(r)
-	}
-	if n.Class != 0 {
-		bit := *selIdx
-		*selIdx++
-		members := lib.ClassMembers(hwlib.Class(n.Class))
-		if len(members) < 2 {
-			return "", fmt.Errorf("hdl: class node %d has %d members", i, len(members))
-		}
-		// A one-bit select muxes the representative against the first
-		// other class member (matching the wildcard-pair merge that
-		// created the node).
-		var alt ir.Opcode
-		for _, m := range members {
-			if m != n.Code {
-				alt = m
-				break
-			}
-		}
-		e1, err := opExpr(n.Code, a)
-		if err != nil {
-			return "", err
-		}
-		e2, err := opExpr(alt, a)
-		if err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("fsel[%d] ? (%s) : (%s)", bit, e2, e1), nil
-	}
-	return opExpr(n.Code, a)
-}
-
-// opExpr renders a primitive operation over 32-bit operands.
-func opExpr(code ir.Opcode, a []string) (string, error) {
-	signed := func(s string) string { return "$signed(" + s + ")" }
-	sh := func(s string) string { return "(" + s + " & 32'd31)" }
-	switch code {
-	case ir.Add:
-		return fmt.Sprintf("%s + %s", a[0], a[1]), nil
-	case ir.Sub:
-		return fmt.Sprintf("%s - %s", a[0], a[1]), nil
-	case ir.Rsb:
-		return fmt.Sprintf("%s - %s", a[1], a[0]), nil
-	case ir.Mul:
-		return fmt.Sprintf("%s * %s", a[0], a[1]), nil
-	case ir.And:
-		return fmt.Sprintf("%s & %s", a[0], a[1]), nil
-	case ir.Or:
-		return fmt.Sprintf("%s | %s", a[0], a[1]), nil
-	case ir.Xor:
-		return fmt.Sprintf("%s ^ %s", a[0], a[1]), nil
-	case ir.AndNot:
-		return fmt.Sprintf("%s & ~%s", a[0], a[1]), nil
-	case ir.Not:
-		return fmt.Sprintf("~%s", a[0]), nil
-	case ir.Shl:
-		return fmt.Sprintf("%s << %s", a[0], sh(a[1])), nil
-	case ir.Shr:
-		return fmt.Sprintf("%s >> %s", a[0], sh(a[1])), nil
-	case ir.Sar:
-		return fmt.Sprintf("%s >>> %s", signed(a[0]), sh(a[1])), nil
-	case ir.Rotl:
-		return fmt.Sprintf("(%s << %s) | (%s >> (32 - %s))", a[0], sh(a[1]), a[0], sh(a[1])), nil
-	case ir.Rotr:
-		return fmt.Sprintf("(%s >> %s) | (%s << (32 - %s))", a[0], sh(a[1]), a[0], sh(a[1])), nil
-	case ir.CmpEq:
-		return fmt.Sprintf("{31'b0, %s == %s}", a[0], a[1]), nil
-	case ir.CmpNe:
-		return fmt.Sprintf("{31'b0, %s != %s}", a[0], a[1]), nil
-	case ir.CmpLtS:
-		return fmt.Sprintf("{31'b0, %s < %s}", signed(a[0]), signed(a[1])), nil
-	case ir.CmpLeS:
-		return fmt.Sprintf("{31'b0, %s <= %s}", signed(a[0]), signed(a[1])), nil
-	case ir.CmpLtU:
-		return fmt.Sprintf("{31'b0, %s < %s}", a[0], a[1]), nil
-	case ir.CmpLeU:
-		return fmt.Sprintf("{31'b0, %s <= %s}", a[0], a[1]), nil
-	case ir.Select:
-		return fmt.Sprintf("(%s != 32'd0) ? %s : %s", a[0], a[1], a[2]), nil
-	case ir.SextB:
-		return fmt.Sprintf("{{24{%s[7]}}, %s[7:0]}", a[0], a[0]), nil
-	case ir.SextH:
-		return fmt.Sprintf("{{16{%s[15]}}, %s[15:0]}", a[0], a[0]), nil
-	case ir.ZextB:
-		return fmt.Sprintf("{24'b0, %s[7:0]}", a[0]), nil
-	case ir.ZextH:
-		return fmt.Sprintf("{16'b0, %s[15:0]}", a[0]), nil
-	case ir.Move:
-		return a[0], nil
-	}
-	return "", fmt.Errorf("hdl: opcode %s has no combinational form (memory and control must stay outside the datapath)", code)
+	return n.WriteVerilog(w)
 }
 
 // sanitize turns a CFU name into a legal Verilog identifier.
@@ -205,6 +42,11 @@ func sanitize(name string) string {
 	}
 	return out
 }
+
+// ModuleName returns the sanitized Verilog module name for a CFU name,
+// shared by EmitMDES, the ISA mapper and the co-simulation reports so
+// every artifact refers to one unit by one identifier.
+func ModuleName(cfuName string) string { return sanitize(cfuName) }
 
 // EmitMDES writes one module per CFU in the machine description, plus a
 // file header recording provenance.

@@ -1,0 +1,134 @@
+package hdl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mdes"
+)
+
+// This file maps a CFU selection onto RISC-V custom-opcode encodings,
+// exporting the selection as a textual .isa extension spec in the style of
+// OpenASIP's co-design flow: every selected unit becomes a named
+// instruction with a concrete major opcode / funct3 / funct7 assignment,
+// so the machine description, the Verilog and the toolchain agree on one
+// encoding space.
+
+// RISC-V reserves four major opcodes for custom extensions; funct3 and
+// funct7 subdivide each, giving 4 x 8 x 128 encodable instructions.
+const (
+	numCustomOpcodes = 4
+	numFunct3        = 8
+	numFunct7        = 128
+	// MaxISAInstrs is the capacity of the custom encoding space.
+	MaxISAInstrs = numCustomOpcodes * numFunct3 * numFunct7
+)
+
+// customOpcodeBits gives the 7-bit major opcode of custom-0..custom-3
+// (RISC-V unprivileged spec, table 24.1).
+var customOpcodeBits = [numCustomOpcodes]uint8{0b0001011, 0b0101011, 0b1011011, 0b1111011}
+
+// ISAInstr is one custom instruction of an exported extension.
+type ISAInstr struct {
+	// Mnemonic is the assembler name (the sanitized CFU module name).
+	Mnemonic string `json:"mnemonic"`
+	// CFU is the originating unit's MDES name.
+	CFU string `json:"cfu"`
+	// Custom is the major-opcode slot index (0..3 for custom-0..custom-3).
+	Custom int `json:"custom"`
+	// Funct3 and Funct7 complete the encoding within the major opcode.
+	Funct3 int `json:"funct3"`
+	Funct7 int `json:"funct7"`
+	// NumIn, NumOut and NumImm are the unit's register-port and immediate
+	// counts. Units beyond rd/rs1/rs2 bind the extra operands to an
+	// implicit register window, which the spec records.
+	NumIn  int `json:"num_in"`
+	NumOut int `json:"num_out"`
+	NumImm int `json:"num_imm"`
+	// Latency is the pipelined cycle count; UsesMemory marks units that
+	// occupy the memory issue slot.
+	Latency    int  `json:"latency"`
+	UsesMemory bool `json:"uses_memory,omitempty"`
+	// Semantics is the pattern mnemonic (opcodes in topological order).
+	Semantics string `json:"semantics"`
+}
+
+// Opcode returns the instruction's 7-bit major opcode value.
+func (i ISAInstr) Opcode() uint8 { return customOpcodeBits[i.Custom] }
+
+// Encoding renders the instruction's fixed fields as a compact string,
+// e.g. "custom-0 funct3=2 funct7=0000101".
+func (i ISAInstr) Encoding() string {
+	return fmt.Sprintf("custom-%d funct3=%d funct7=%07b", i.Custom, i.Funct3, i.Funct7)
+}
+
+// ISASpec is a RISC-V extension exported from one CFU selection.
+type ISASpec struct {
+	// Name is the extension name, Xisc_<source>.
+	Name string `json:"name"`
+	// Source and Budget identify the selection that produced it.
+	Source string  `json:"source"`
+	Budget float64 `json:"budget"`
+	// Instrs lists the custom instructions in CFU priority order;
+	// encodings are dense from custom-0 funct3=0 funct7=0 upward.
+	Instrs []ISAInstr `json:"instrs"`
+}
+
+// MapISA assigns every CFU of the machine description a RISC-V custom
+// encoding, in priority order. It fails if the selection exceeds the
+// custom encoding space (MaxISAInstrs) — far beyond any realistic budget.
+func MapISA(m *mdes.MDES) (*ISASpec, error) {
+	if len(m.CFUs) > MaxISAInstrs {
+		return nil, fmt.Errorf("hdl: %d CFUs exceed the %d encodable custom instructions", len(m.CFUs), MaxISAInstrs)
+	}
+	spec := &ISASpec{
+		Name:   "Xisc_" + sanitize(m.Source),
+		Source: m.Source,
+		Budget: m.Budget,
+	}
+	for i := range m.CFUs {
+		c := &m.CFUs[i]
+		in, out := c.Shape.NumIO()
+		spec.Instrs = append(spec.Instrs, ISAInstr{
+			Mnemonic:   sanitize(c.Name),
+			CFU:        c.Name,
+			Custom:     i / (numFunct3 * numFunct7),
+			Funct3:     i % numFunct3,
+			Funct7:     (i / numFunct3) % numFunct7,
+			NumIn:      in,
+			NumOut:     out,
+			NumImm:     c.Shape.NumImms,
+			Latency:    c.Latency,
+			UsesMemory: c.Shape.UsesMemory(),
+			Semantics:  c.Shape.Mnemonic(),
+		})
+	}
+	return spec, nil
+}
+
+// Write renders the spec as a deterministic .isa text file.
+func (s *ISASpec) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# RISC-V ISA extension generated from %q (budget %g adders)\n", s.Source, s.Budget); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "extension %s\n", s.Name)
+	for _, ins := range s.Instrs {
+		fmt.Fprintf(w, "\ninstr %s\n", ins.Mnemonic)
+		fmt.Fprintf(w, "  encoding: opcode=%07b %s\n", ins.Opcode(), ins.Encoding())
+		fmt.Fprintf(w, "  operands: in=%d out=%d imm=%d\n", ins.NumIn, ins.NumOut, ins.NumImm)
+		if ins.NumIn > 2 || ins.NumOut > 1 {
+			fmt.Fprintf(w, "  binding: rd, rs1, rs2 plus an implicit register window for the remaining %d in / %d out ports\n",
+				max(ins.NumIn-2, 0), max(ins.NumOut-1, 0))
+		} else {
+			fmt.Fprintf(w, "  binding: rd, rs1, rs2\n")
+		}
+		fmt.Fprintf(w, "  latency: %d cycles\n", ins.Latency)
+		if ins.UsesMemory {
+			fmt.Fprintf(w, "  issue: memory slot (unit contains loads)\n")
+		}
+		if _, err := fmt.Fprintf(w, "  semantics: %s\n", ins.Semantics); err != nil {
+			return err
+		}
+	}
+	return nil
+}

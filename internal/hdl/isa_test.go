@@ -1,0 +1,159 @@
+package hdl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+	"repro/internal/mdes"
+	"repro/internal/workloads"
+)
+
+func tinyMDES(n int) *mdes.MDES {
+	m := &mdes.MDES{Source: "unit<test>", Budget: 15}
+	for i := 0; i < n; i++ {
+		m.CFUs = append(m.CFUs, mdes.CFUSpec{
+			Name:     "cfu" + string(rune('a'+i%26)),
+			Priority: i,
+			Latency:  1,
+			Shape: &graph.Shape{
+				Nodes:     []graph.Node{{Code: ir.Add, Ins: []graph.Ref{{Kind: graph.RefInput, Index: 0}, {Kind: graph.RefInput, Index: 1}}}},
+				NumInputs: 2, Outputs: []int{0},
+			},
+		})
+	}
+	return m
+}
+
+func TestMapISAEncodingsAreDenseAndUnique(t *testing.T) {
+	spec, err := MapISA(tinyMDES(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "Xisc_unit_test" {
+		t.Errorf("extension name = %q", spec.Name)
+	}
+	seen := map[[3]int]bool{}
+	for i, ins := range spec.Instrs {
+		key := [3]int{ins.Custom, ins.Funct3, ins.Funct7}
+		if seen[key] {
+			t.Errorf("instr %d reuses encoding %v", i, key)
+		}
+		seen[key] = true
+		if ins.Custom != 0 {
+			t.Errorf("instr %d spilled to custom-%d inside a 20-entry selection", i, ins.Custom)
+		}
+		if ins.Funct3 != i%8 || ins.Funct7 != i/8 {
+			t.Errorf("instr %d encoding funct3=%d funct7=%d, want dense assignment", i, ins.Funct3, ins.Funct7)
+		}
+	}
+	if spec.Instrs[0].Opcode() != 0b0001011 {
+		t.Errorf("custom-0 major opcode = %07b", spec.Instrs[0].Opcode())
+	}
+}
+
+func TestMapISAOverflows(t *testing.T) {
+	if _, err := MapISA(tinyMDES(MaxISAInstrs + 1)); err == nil {
+		t.Fatal("oversized selection must not map")
+	}
+	if _, err := MapISA(tinyMDES(MaxISAInstrs)); err != nil {
+		t.Fatalf("exactly-full selection must map: %v", err)
+	}
+}
+
+func TestISASpecWriteForBenchmark(t *testing.T) {
+	b, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.GenerateMDES(b.Program, core.Config{Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := MapISA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Instrs) != len(m.CFUs) {
+		t.Fatalf("%d instrs for %d CFUs", len(spec.Instrs), len(m.CFUs))
+	}
+	var buf bytes.Buffer
+	if err := spec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "extension Xisc_sha") {
+		t.Errorf("missing extension header:\n%s", out)
+	}
+	if strings.Count(out, "instr ") != len(m.CFUs) {
+		t.Errorf("want one instr stanza per CFU:\n%s", out)
+	}
+	for _, ins := range spec.Instrs {
+		if !strings.Contains(out, "instr "+ins.Mnemonic) || !strings.Contains(out, ins.Semantics) {
+			t.Errorf("instr %s not fully rendered", ins.Mnemonic)
+		}
+	}
+	// The spec and the Verilog must agree on module identifiers.
+	var v bytes.Buffer
+	if err := EmitMDES(&v, m, hwlib.Default()); err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range spec.Instrs {
+		if !ins.UsesMemory && !strings.Contains(v.String(), "module "+ins.Mnemonic+" (") {
+			t.Errorf("ISA instr %s has no matching Verilog module", ins.Mnemonic)
+		}
+	}
+}
+
+func TestBuildNetlistStructure(t *testing.T) {
+	s := shlAndAdd()
+	n, err := BuildNetlist("m", s, hwlib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Wires) != 3 || n.NumInputs != 3 || n.NumImms != 1 || n.SelBits != 0 {
+		t.Fatalf("netlist interface mismatch: %+v", n)
+	}
+	if len(n.Outputs) != 1 || n.Outputs[0] != 2 {
+		t.Fatalf("outputs = %v", n.Outputs)
+	}
+	// Rendering the netlist and EmitCFU must be the same bytes.
+	var a, b bytes.Buffer
+	if err := n.WriteVerilog(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := EmitCFU(&b, "m", s, hwlib.Default()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("EmitCFU output diverged from the netlist rendering:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestEmitConstWidthChange covers the literal-fold path: Verilog forbids
+// part selects on literals, so a pinned constant feeding a width change
+// must fold instead of rendering 32'h...[7:0].
+func TestEmitConstWidthChange(t *testing.T) {
+	s := &graph.Shape{
+		Nodes: []graph.Node{
+			{Code: ir.SextB, Ins: []graph.Ref{{Kind: graph.RefConst, Val: 0x1A5}}},
+			{Code: ir.Add, Ins: []graph.Ref{{Kind: graph.RefNode, Index: 0}, {Kind: graph.RefInput, Index: 0}}},
+		},
+		NumInputs: 1, Outputs: []int{1},
+	}
+	var buf bytes.Buffer
+	if err := EmitCFU(&buf, "m", s, hwlib.Default()); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if !strings.Contains(v, "wire [31:0] n0 = 32'hffffffa5;") {
+		t.Errorf("SextB of a constant should fold:\n%s", v)
+	}
+	if strings.Contains(v, "'h000001a5[") {
+		t.Errorf("part select on a literal is not synthesizable:\n%s", v)
+	}
+}

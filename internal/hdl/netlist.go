@@ -1,0 +1,471 @@
+package hdl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/hwlib"
+	"repro/internal/ir"
+)
+
+// This file defines the structured netlist form of a CFU datapath: a
+// module interface (ports) plus one combinational expression tree per
+// pattern node. The Verilog text EmitCFU writes is a rendering of this
+// structure, and the co-simulation harness (internal/cosim) evaluates the
+// same structure with Verilog bitvector semantics, so "what we print" and
+// "what we test" are a single artifact.
+
+// SigKind says which port or net a Sig expression reads.
+type SigKind uint8
+
+// Signal kinds.
+const (
+	// SigWire reads the value of wire Index (netlist node n<Index>).
+	SigWire SigKind = iota
+	// SigInput reads external input port in<Index>.
+	SigInput
+	// SigImm reads immediate parameter port imm<Index>.
+	SigImm
+)
+
+// BinOp enumerates the binary Verilog operators the emitter produces.
+type BinOp uint8
+
+// Binary operators. The comments give the Verilog token.
+const (
+	OpAdd BinOp = iota // +
+	OpSub              // -
+	OpMul              // *
+	OpAnd              // &
+	OpOr               // |
+	OpXor              // ^
+	OpShl              // <<
+	OpShr              // >>  (logical)
+	OpSra              // >>> (arithmetic when the left operand is $signed)
+	OpEq               // ==
+	OpNe               // !=
+	OpLt               // <   (signed iff both operands are $signed)
+	OpLe               // <=  (signed iff both operands are $signed)
+)
+
+var binOpTokens = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*",
+	OpAnd: "&", OpOr: "|", OpXor: "^",
+	OpShl: "<<", OpShr: ">>", OpSra: ">>>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+}
+
+// Token returns the Verilog operator token.
+func (o BinOp) Token() string { return binOpTokens[o] }
+
+// Expr is one node of a combinational RTL expression tree. The concrete
+// types below mirror the small subset of Verilog the emitter uses; the
+// interpreter in internal/cosim gives each the 2-state bitvector semantics
+// of the language reference, independently of ir.EvalScalar.
+type Expr interface {
+	exprNode()
+}
+
+// Const is a sized literal, e.g. 32'd31, 31'b0 or 32'h0000ffff.
+type Const struct {
+	Val   uint32
+	Width int
+	// Base is the Verilog literal base: 'd', 'h', 'b', or 0 for a bare
+	// decimal (an unsized literal in a self-determined context).
+	Base byte
+}
+
+// Sig reads a 32-bit port or wire.
+type Sig struct {
+	Kind  SigKind
+	Index int
+}
+
+// FSelBit reads one bit of the function-select port of a multi-function
+// unit.
+type FSelBit struct {
+	Bit int
+}
+
+// Bit is a single-bit select, e.g. in0[7].
+type Bit struct {
+	X   Expr
+	Bit int
+}
+
+// Slice is a part select, e.g. in0[15:0].
+type Slice struct {
+	X      Expr
+	Hi, Lo int
+}
+
+// Inv is bitwise negation, ~x.
+type Inv struct {
+	X Expr
+}
+
+// Signed marks its operand with Verilog $signed(), switching comparisons
+// and >>> to two's-complement semantics.
+type Signed struct {
+	X Expr
+}
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   BinOp
+	A, B Expr
+}
+
+// Cond is the ternary mux cond ? then : else.
+type Cond struct {
+	If, Then, Else Expr
+}
+
+// Repl is the replication {N{x}}.
+type Repl struct {
+	N int
+	X Expr
+}
+
+// Concat is the concatenation {a, b, ...}; Parts[0] holds the most
+// significant bits.
+type Concat struct {
+	Parts []Expr
+}
+
+func (Const) exprNode()   {}
+func (Sig) exprNode()     {}
+func (FSelBit) exprNode() {}
+func (Bit) exprNode()     {}
+func (Slice) exprNode()   {}
+func (Inv) exprNode()     {}
+func (Signed) exprNode()  {}
+func (Bin) exprNode()     {}
+func (Cond) exprNode()    {}
+func (Repl) exprNode()    {}
+func (Concat) exprNode()  {}
+
+// Wire is one named 32-bit net of the datapath, in topological order:
+// wire n<i> may only read wires n<j> with j < i.
+type Wire struct {
+	// Expr drives the wire.
+	Expr Expr
+	// Comment annotates the Verilog line (the source opcode or class).
+	Comment string
+}
+
+// Sel describes one function-select bit of a multi-function datapath:
+// fsel[k] low executes Primary on wire Node, high executes Alt.
+type Sel struct {
+	// Node is the wire index the bit controls.
+	Node int
+	// Primary is the representative opcode (selected when the bit is 0).
+	Primary ir.Opcode
+	// Alt is the alternate class member (selected when the bit is 1).
+	Alt ir.Opcode
+}
+
+// Netlist is a synthesizable CFU datapath: the module interface and one
+// combinational expression per wire. Build one with BuildNetlist, render
+// it with WriteVerilog, or evaluate it with internal/cosim.
+type Netlist struct {
+	// Name is the Verilog module name.
+	Name string
+	// Mnemonic is the source pattern's opcode mnemonic, kept for the
+	// header comment.
+	Mnemonic string
+	// NumInputs and NumImms count the in<i> and imm<i> ports.
+	NumInputs int
+	NumImms   int
+	// SelBits is the width of the fsel port (0 = no port).
+	SelBits int
+	// Wires lists the internal nets in topological order.
+	Wires []Wire
+	// Outputs lists the wire indices driving out<k>, in port order.
+	Outputs []int
+	// Sels documents each fsel bit, in bit order.
+	Sels []Sel
+}
+
+// BuildNetlist lowers a validated CFU pattern into a structured netlist.
+// Patterns containing memory, control-flow, floating-point or Custom
+// operations have no combinational form and return an error.
+func BuildNetlist(name string, s *graph.Shape, lib *hwlib.Library) (*Netlist, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("hdl: %w", err)
+	}
+	n := &Netlist{
+		Name:      name,
+		Mnemonic:  s.Mnemonic(),
+		NumInputs: s.NumInputs,
+		NumImms:   s.NumImms,
+	}
+	for i, node := range s.Nodes {
+		e, err := lowerNode(s, i, node, n, lib)
+		if err != nil {
+			return nil, err
+		}
+		n.Wires = append(n.Wires, Wire{Expr: e, Comment: nodeComment(node, lib)})
+	}
+	n.SelBits = len(n.Sels)
+	n.Outputs = append(n.Outputs, s.Outputs...)
+	return n, nil
+}
+
+func nodeComment(n graph.Node, lib *hwlib.Library) string {
+	if n.Class != 0 {
+		return "class " + hwlib.Class(n.Class).String()
+	}
+	return n.Code.String()
+}
+
+// lowerRef lowers one operand of a pattern node.
+func lowerRef(r graph.Ref) Expr {
+	switch r.Kind {
+	case graph.RefNode:
+		return Sig{Kind: SigWire, Index: r.Index}
+	case graph.RefInput:
+		return Sig{Kind: SigInput, Index: r.Index}
+	case graph.RefImm:
+		return Sig{Kind: SigImm, Index: r.Index}
+	default:
+		return Const{Val: r.Val, Width: 32, Base: 'h'}
+	}
+}
+
+// lowerNode lowers the combinational expression for node i, appending a
+// function-select bit for multi-function (class) nodes.
+func lowerNode(s *graph.Shape, i int, node graph.Node, n *Netlist, lib *hwlib.Library) (Expr, error) {
+	a := make([]Expr, len(node.Ins))
+	for k, r := range node.Ins {
+		a[k] = lowerRef(r)
+	}
+	if node.Class != 0 {
+		members := lib.ClassMembers(hwlib.Class(node.Class))
+		if len(members) < 2 {
+			return nil, fmt.Errorf("hdl: class node %d has %d members", i, len(members))
+		}
+		// A one-bit select muxes the representative against the first
+		// other class member (matching the wildcard-pair merge that
+		// created the node).
+		var alt ir.Opcode
+		for _, m := range members {
+			if m != node.Code {
+				alt = m
+				break
+			}
+		}
+		e1, err := lowerOp(node.Code, a)
+		if err != nil {
+			return nil, err
+		}
+		e2, err := lowerOp(alt, a)
+		if err != nil {
+			return nil, err
+		}
+		bit := len(n.Sels)
+		n.Sels = append(n.Sels, Sel{Node: i, Primary: node.Code, Alt: alt})
+		return Cond{If: FSelBit{Bit: bit}, Then: e2, Else: e1}, nil
+	}
+	return lowerOp(node.Code, a)
+}
+
+// lowerOp builds the expression tree for a primitive operation over 32-bit
+// operands. The forms mirror the rendered Verilog exactly: shifts mask
+// their amount to five bits, comparisons zero-extend a 1-bit result, and
+// width changes use replication + part selects.
+func lowerOp(code ir.Opcode, a []Expr) (Expr, error) {
+	// Validate only checks the node against its own opcode; a class node's
+	// alternate member may disagree on arity, so guard every lowering.
+	if ar := code.Arity(); ar < 0 || ar != len(a) {
+		return nil, fmt.Errorf("hdl: %s applied to %d operands", code, len(a))
+	}
+	sh := func(e Expr) Expr { return Bin{Op: OpAnd, A: e, B: Const{Val: 31, Width: 32, Base: 'd'}} }
+	cmp := func(op BinOp, x, y Expr) Expr {
+		return Concat{Parts: []Expr{Const{Val: 0, Width: 31, Base: 'b'}, Bin{Op: op, A: x, B: y}}}
+	}
+	switch code {
+	case ir.Add:
+		return Bin{Op: OpAdd, A: a[0], B: a[1]}, nil
+	case ir.Sub:
+		return Bin{Op: OpSub, A: a[0], B: a[1]}, nil
+	case ir.Rsb:
+		return Bin{Op: OpSub, A: a[1], B: a[0]}, nil
+	case ir.Mul:
+		return Bin{Op: OpMul, A: a[0], B: a[1]}, nil
+	case ir.And:
+		return Bin{Op: OpAnd, A: a[0], B: a[1]}, nil
+	case ir.Or:
+		return Bin{Op: OpOr, A: a[0], B: a[1]}, nil
+	case ir.Xor:
+		return Bin{Op: OpXor, A: a[0], B: a[1]}, nil
+	case ir.AndNot:
+		return Bin{Op: OpAnd, A: a[0], B: Inv{X: a[1]}}, nil
+	case ir.Not:
+		return Inv{X: a[0]}, nil
+	case ir.Shl:
+		return Bin{Op: OpShl, A: a[0], B: sh(a[1])}, nil
+	case ir.Shr:
+		return Bin{Op: OpShr, A: a[0], B: sh(a[1])}, nil
+	case ir.Sar:
+		return Bin{Op: OpSra, A: Signed{X: a[0]}, B: sh(a[1])}, nil
+	case ir.Rotl:
+		return Bin{
+			Op: OpOr,
+			A:  Bin{Op: OpShl, A: a[0], B: sh(a[1])},
+			B:  Bin{Op: OpShr, A: a[0], B: Bin{Op: OpSub, A: Const{Val: 32, Width: 32}, B: sh(a[1])}},
+		}, nil
+	case ir.Rotr:
+		return Bin{
+			Op: OpOr,
+			A:  Bin{Op: OpShr, A: a[0], B: sh(a[1])},
+			B:  Bin{Op: OpShl, A: a[0], B: Bin{Op: OpSub, A: Const{Val: 32, Width: 32}, B: sh(a[1])}},
+		}, nil
+	case ir.CmpEq:
+		return cmp(OpEq, a[0], a[1]), nil
+	case ir.CmpNe:
+		return cmp(OpNe, a[0], a[1]), nil
+	case ir.CmpLtS:
+		return cmp(OpLt, Signed{X: a[0]}, Signed{X: a[1]}), nil
+	case ir.CmpLeS:
+		return cmp(OpLe, Signed{X: a[0]}, Signed{X: a[1]}), nil
+	case ir.CmpLtU:
+		return cmp(OpLt, a[0], a[1]), nil
+	case ir.CmpLeU:
+		return cmp(OpLe, a[0], a[1]), nil
+	case ir.Select:
+		return Cond{
+			If:   Bin{Op: OpNe, A: a[0], B: Const{Val: 0, Width: 32, Base: 'd'}},
+			Then: a[1],
+			Else: a[2],
+		}, nil
+	case ir.SextB:
+		return widthChange(a[0], 7, true), nil
+	case ir.SextH:
+		return widthChange(a[0], 15, true), nil
+	case ir.ZextB:
+		return widthChange(a[0], 7, false), nil
+	case ir.ZextH:
+		return widthChange(a[0], 15, false), nil
+	case ir.Move:
+		return a[0], nil
+	}
+	return nil, fmt.Errorf("hdl: opcode %s has no combinational form (memory and control must stay outside the datapath)", code)
+}
+
+// widthChange builds the sign- or zero-extension of bits [hi:0] of x back
+// to 32 bits. Verilog forbids part selects on literals, so a constant
+// operand (a pinned identity input from a subsumed variant) folds to a new
+// constant instead.
+func widthChange(x Expr, hi int, signExtend bool) Expr {
+	if c, ok := x.(Const); ok {
+		keep := c.Val & (1<<uint(hi+1) - 1)
+		if signExtend && keep&(1<<uint(hi)) != 0 {
+			keep |= ^uint32(0) << uint(hi+1)
+		}
+		return Const{Val: keep, Width: 32, Base: 'h'}
+	}
+	low := Slice{X: x, Hi: hi, Lo: 0}
+	if signExtend {
+		return Concat{Parts: []Expr{Repl{N: 31 - hi, X: Bit{X: x, Bit: hi}}, low}}
+	}
+	return Concat{Parts: []Expr{Const{Val: 0, Width: 31 - hi, Base: 'b'}, low}}
+}
+
+// WriteVerilog renders the netlist as one synthesizable Verilog module.
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %s\n", n.Name, n.Mnemonic)
+	fmt.Fprintf(&sb, "// %d-input / %d-output custom function unit\n", n.NumInputs, len(n.Outputs))
+	fmt.Fprintf(&sb, "module %s (\n", n.Name)
+
+	var ports []string
+	for i := 0; i < n.NumInputs; i++ {
+		ports = append(ports, fmt.Sprintf("  input  wire [31:0] in%d", i))
+	}
+	for i := 0; i < n.NumImms; i++ {
+		ports = append(ports, fmt.Sprintf("  input  wire [31:0] imm%d", i))
+	}
+	if n.SelBits > 0 {
+		ports = append(ports, fmt.Sprintf("  input  wire [%d:0] fsel", max(n.SelBits-1, 0)))
+	}
+	for k := range n.Outputs {
+		ports = append(ports, fmt.Sprintf("  output wire [31:0] out%d", k))
+	}
+	sb.WriteString(strings.Join(ports, ",\n"))
+	sb.WriteString("\n);\n\n")
+
+	for i, wire := range n.Wires {
+		fmt.Fprintf(&sb, "  wire [31:0] n%d = %s; // %s\n", i, exprString(wire.Expr), wire.Comment)
+	}
+	sb.WriteString("\n")
+	for k, o := range n.Outputs {
+		fmt.Fprintf(&sb, "  assign out%d = n%d;\n", k, o)
+	}
+	sb.WriteString("endmodule\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// exprString renders an expression tree as Verilog source.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case Const:
+		switch x.Base {
+		case 'd':
+			return fmt.Sprintf("%d'd%d", x.Width, x.Val)
+		case 'h':
+			return fmt.Sprintf("%d'h%0*x", x.Width, (x.Width+3)/4, x.Val)
+		case 'b':
+			return fmt.Sprintf("%d'b%b", x.Width, x.Val)
+		default:
+			return fmt.Sprintf("%d", x.Val)
+		}
+	case Sig:
+		switch x.Kind {
+		case SigWire:
+			return fmt.Sprintf("n%d", x.Index)
+		case SigInput:
+			return fmt.Sprintf("in%d", x.Index)
+		default:
+			return fmt.Sprintf("imm%d", x.Index)
+		}
+	case FSelBit:
+		return fmt.Sprintf("fsel[%d]", x.Bit)
+	case Bit:
+		return fmt.Sprintf("%s[%d]", exprString(x.X), x.Bit)
+	case Slice:
+		return fmt.Sprintf("%s[%d:%d]", exprString(x.X), x.Hi, x.Lo)
+	case Inv:
+		return "~" + operandString(x.X)
+	case Signed:
+		return "$signed(" + exprString(x.X) + ")"
+	case Bin:
+		return operandString(x.A) + " " + x.Op.Token() + " " + operandString(x.B)
+	case Cond:
+		return operandString(x.If) + " ? " + operandString(x.Then) + " : " + operandString(x.Else)
+	case Repl:
+		return fmt.Sprintf("{%d{%s}}", x.N, exprString(x.X))
+	case Concat:
+		parts := make([]string, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = exprString(p)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	panic(fmt.Sprintf("hdl: exprString of unknown node %T", e))
+}
+
+// operandString renders a subexpression in operand position, adding
+// parentheses around compound forms so precedence never depends on the
+// reader's memory of the Verilog operator table.
+func operandString(e Expr) string {
+	s := exprString(e)
+	switch e.(type) {
+	case Bin, Cond:
+		return "(" + s + ")"
+	}
+	return s
+}

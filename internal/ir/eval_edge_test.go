@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const (
+	minI32 = uint32(0x80000000)
+	maxI32 = uint32(0x7FFFFFFF)
+	negOne = uint32(0xFFFFFFFF)
+)
+
+// TestEvalScalarShiftEdges pins the shift-amount contract: amounts are
+// masked to five bits, so 32 acts like 0, 33 like 1, and huge amounts
+// reduce mod 32 — matching both RV32 and the emitted Verilog datapath.
+func TestEvalScalarShiftEdges(t *testing.T) {
+	cases := []struct {
+		code Opcode
+		a, b uint32
+		want uint32
+	}{
+		{Shl, 0xDEADBEEF, 0, 0xDEADBEEF},
+		{Shl, 1, 31, 0x80000000},
+		{Shl, 0xDEADBEEF, 32, 0xDEADBEEF},
+		{Shl, 1, 33, 2},
+		{Shl, 1, 63, 0x80000000},
+		{Shl, 1, 0xFFFFFFFF, 0x80000000},
+		{Shr, 0xDEADBEEF, 32, 0xDEADBEEF},
+		{Shr, minI32, 31, 1},
+		{Shr, minI32, 33, 0x40000000},
+		{Shr, 0xF0, 0xFFFFFFE4, 0xF},
+		{Sar, minI32, 0, minI32},
+		{Sar, minI32, 31, negOne},
+		{Sar, minI32, 32, minI32},
+		{Sar, minI32, 33, 0xC0000000},
+		{Sar, maxI32, 31, 0},
+		{Sar, negOne, 0xFFFFFFFF, negOne},
+		{Rotl, 0x80000001, 0, 0x80000001},
+		{Rotl, 0x80000001, 1, 3},
+		{Rotl, 0x80000001, 32, 0x80000001},
+		{Rotl, 0x80000001, 33, 3},
+		{Rotr, 0x80000001, 1, 0xC0000000},
+		{Rotr, 0x80000001, 32, 0x80000001},
+		{Rotr, 0x80000001, 63, 3},
+	}
+	for _, c := range cases {
+		if got := EvalScalar(c.code, []uint32{c.a, c.b}); got != c.want {
+			t.Errorf("%s(%#x, %d) = %#x, want %#x", c.code, c.a, c.b, got, c.want)
+		}
+	}
+	// Rotates by any amount must be inverses of each other.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		v, s := rng.Uint32(), rng.Uint32()
+		r := EvalScalar(Rotl, []uint32{v, s})
+		if back := EvalScalar(Rotr, []uint32{r, s}); back != v {
+			t.Fatalf("Rotr(Rotl(%#x, %d)) = %#x", v, s, back)
+		}
+	}
+}
+
+// TestEvalScalarSignedEdges covers the signed boundaries: min-int
+// division overflow, division and remainder by zero, and comparisons
+// across the sign discontinuity.
+func TestEvalScalarSignedEdges(t *testing.T) {
+	cases := []struct {
+		code Opcode
+		a, b uint32
+		want uint32
+	}{
+		// MinInt32 / -1 overflows to MinInt32 (two's-complement wrap); the
+		// remainder is 0. Division by zero is defined as 0.
+		{Div, minI32, negOne, minI32},
+		{Rem, minI32, negOne, 0},
+		{Div, 7, 0, 0},
+		{Rem, 7, 0, 0},
+		{Div, negOne, 2, 0},          // -1 / 2 rounds toward zero
+		{Rem, 0xFFFFFFF9, 2, negOne}, // -7 % 2 = -1, rounding toward zero
+		{Div, minI32, 2, 0xC0000000},
+		// Signed comparisons at the sign boundary.
+		{CmpLtS, minI32, maxI32, 1},
+		{CmpLtS, maxI32, minI32, 0},
+		{CmpLtS, minI32, minI32, 0},
+		{CmpLeS, minI32, minI32, 1},
+		{CmpLtS, negOne, 0, 1},
+		{CmpLtS, 0, negOne, 0},
+		// The same operands compare the other way around unsigned.
+		{CmpLtU, minI32, maxI32, 0},
+		{CmpLtU, maxI32, minI32, 1},
+		{CmpLeU, negOne, negOne, 1},
+		{CmpLtU, 0, negOne, 1},
+		// Sign/zero extension at the byte and halfword boundaries.
+		{Sub, 0, minI32, minI32}, // 0 - MinInt32 wraps back to MinInt32
+		{Add, maxI32, 1, minI32},
+		{Mul, minI32, negOne, minI32},
+	}
+	for _, c := range cases {
+		if got := EvalScalar(c.code, []uint32{c.a, c.b}); got != c.want {
+			t.Errorf("%s(%#x, %#x) = %#x, want %#x", c.code, c.a, c.b, got, c.want)
+		}
+	}
+	unary := []struct {
+		code Opcode
+		a    uint32
+		want uint32
+	}{
+		{SextB, 0x7F, 0x7F},
+		{SextB, 0x80, 0xFFFFFF80},
+		{SextB, 0xABCDEF00, 0},
+		{SextH, 0x8000, 0xFFFF8000},
+		{SextH, 0x7FFF, 0x7FFF},
+		{ZextB, 0xFFFFFFFF, 0xFF},
+		{ZextH, 0xFFFFFFFF, 0xFFFF},
+		{Not, 0, negOne},
+		{Move, minI32, minI32},
+	}
+	for _, c := range unary {
+		if got := EvalScalar(c.code, []uint32{c.a}); got != c.want {
+			t.Errorf("%s(%#x) = %#x, want %#x", c.code, c.a, got, c.want)
+		}
+	}
+	for _, cond := range []uint32{1, 2, negOne, minI32} {
+		if got := EvalScalar(Select, []uint32{cond, 0xAA, 0xBB}); got != 0xAA {
+			t.Errorf("Select(%#x,...) = %#x, want the nonzero arm", cond, got)
+		}
+	}
+	if got := EvalScalar(Select, []uint32{0, 0xAA, 0xBB}); got != 0xBB {
+		t.Errorf("Select(0,...) = %#x, want the zero arm", got)
+	}
+}
+
+// TestEvalScalarIdentities ties the evaluator to the Identities table the
+// subsumption engine trusts: pinning the documented constant operand must
+// pass the other operand through unchanged for every listed identity.
+func TestEvalScalarIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	probes := []uint32{0, 1, minI32, maxI32, negOne, 0xDEADBEEF}
+	for i := 0; i < 40; i++ {
+		probes = append(probes, rng.Uint32())
+	}
+	for c := Opcode(0); c < MaxOpcode; c++ {
+		for _, id := range c.Identities() {
+			for _, v := range probes {
+				args := make([]uint32, c.Arity())
+				args[id.PassArg] = v
+				args[id.ConstArg] = id.ConstVal
+				for k := range args {
+					if k != id.PassArg && k != id.ConstArg {
+						args[k] = rng.Uint32()
+					}
+				}
+				if got := EvalScalar(c, args); got != v {
+					t.Fatalf("%s identity (pin arg %d = %#x) broke on %#x: got %#x",
+						c, id.ConstArg, id.ConstVal, v, got)
+				}
+			}
+		}
+	}
+}

@@ -112,15 +112,18 @@ func (r Request) deadline(def time.Duration) time.Duration {
 	return def
 }
 
-// cacheKey is the canonical content hash of (program, configuration): the
-// program's semantic fingerprint (ir.Fingerprint, invariant under pure-op
-// reordering and ID renumbering) combined with every configuration field
-// that can change the response. Requests with equal keys provably produce
-// byte-identical responses, which is what makes the cache sound.
-func (r Request) cacheKey(p *ir.Program) string {
+// cacheKey is the canonical content hash of (endpoint, program,
+// configuration): the program's semantic fingerprint (ir.Fingerprint,
+// invariant under pure-op reordering and ID renumbering) combined with
+// every configuration field that can change the response. The kind prefix
+// ("customize", "hdl") keeps different endpoints' results from aliasing in
+// the shared cache even though they hash the same request fields.
+// Requests with equal keys provably produce byte-identical responses,
+// which is what makes the cache sound.
+func (r Request) cacheKey(kind string, p *ir.Program) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "iscd/v1\nprogram %s\nbudget %g\nports %d/%d\nmode %s\n",
-		ir.Fingerprint(p), r.Budget, r.MaxInputs, r.MaxOutputs, r.SelectMode)
+	fmt.Fprintf(h, "iscd/v1\nkind %s\nprogram %s\nbudget %g\nports %d/%d\nmode %s\n",
+		kind, ir.Fingerprint(p), r.Budget, r.MaxInputs, r.MaxOutputs, r.SelectMode)
 	fmt.Fprintf(h, "variants %t classes %t multi %t opt %t verify %t\n",
 		r.UseVariants, r.UseOpcodeClasses, r.MultiFunction, r.Optimize, r.Verify)
 	fmt.Fprintf(h, "deadline_ms %d max_candidates %d\n", r.DeadlineMS, r.MaxCandidates)

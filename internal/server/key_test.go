@@ -41,17 +41,17 @@ func TestCacheKeyCanonicalizesNodeOrder(t *testing.T) {
 	if a.String() == c.String() {
 		t.Fatal("test is vacuous: programs have identical text")
 	}
-	if req.cacheKey(a) != req.cacheKey(c) {
+	if req.cacheKey("customize", a) != req.cacheKey("customize", c) {
 		t.Error("reordered-but-identical programs produced different cache keys")
 	}
 }
 
 func TestCacheKeySensitiveToProgram(t *testing.T) {
 	req := Request{}.normalized()
-	base := req.cacheKey(buildHashKernel(false))
+	base := req.cacheKey("customize", buildHashKernel(false))
 	p := buildHashKernel(false)
 	p.Blocks[0].Weight = 4999
-	if req.cacheKey(p) == base {
+	if req.cacheKey("customize", p) == base {
 		t.Error("profile-weight change did not change the cache key")
 	}
 }
@@ -60,7 +60,7 @@ func TestCacheKeySensitiveToProgram(t *testing.T) {
 // one of them is different work and must never alias a cached result.
 func TestCacheKeySensitiveToEveryConfigField(t *testing.T) {
 	p := buildHashKernel(false)
-	base := Request{}.normalized().cacheKey(p)
+	base := Request{}.normalized().cacheKey("customize", p)
 	mutations := map[string]func(*Request){
 		"budget":             func(r *Request) { r.Budget = 7 },
 		"max_inputs":         func(r *Request) { r.MaxInputs = 4 },
@@ -78,7 +78,7 @@ func TestCacheKeySensitiveToEveryConfigField(t *testing.T) {
 	for label, mutate := range mutations {
 		r := Request{}.normalized()
 		mutate(&r)
-		key := r.cacheKey(p)
+		key := r.cacheKey("customize", p)
 		if key == base {
 			t.Errorf("changing %s did not change the cache key", label)
 		}
@@ -92,8 +92,8 @@ func TestCacheKeySensitiveToEveryConfigField(t *testing.T) {
 // Spelled-out defaults and zero values are the same request.
 func TestCacheKeyNormalizesDefaults(t *testing.T) {
 	p := buildHashKernel(false)
-	implicit := Request{}.normalized().cacheKey(p)
-	explicit := Request{Budget: 15, MaxInputs: 5, MaxOutputs: 3, SelectMode: "greedy"}.normalized().cacheKey(p)
+	implicit := Request{}.normalized().cacheKey("customize", p)
+	explicit := Request{Budget: 15, MaxInputs: 5, MaxOutputs: 3, SelectMode: "greedy"}.normalized().cacheKey("customize", p)
 	if implicit != explicit {
 		t.Error("zero-valued and explicitly-defaulted requests produced different keys")
 	}

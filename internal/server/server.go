@@ -98,6 +98,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("/v1/customize", s.handleCustomize)
+	s.mux.HandleFunc("/v1/hdl", s.handleHDL)
 	return s
 }
 
@@ -311,7 +312,18 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := req.cacheKey(p)
+	key := req.cacheKey("customize", p)
+	s.serveCached(w, r, key, func() (int, []byte) { return s.run(req, p, key) })
+}
+
+// serveCached is the shared caching front end of every pipeline-backed
+// endpoint: result-cache lookup, request coalescing, drain refusal, and
+// singleflight leadership. Exactly one goroutine runs `work` per key; any
+// concurrent identical request waits for the leader's bytes. The
+// X-Iscd-Cache response header says how the reply was produced ("hit",
+// "miss", or "coalesced") without perturbing the cached body bytes.
+// Caching the result (or not, for truncated responses) is `work`'s job.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, work func() (int, []byte)) {
 	if cached, ok := s.cache.get(key); ok {
 		s.tel.Add("server.cache.hit", 1)
 		w.Header().Set("X-Iscd-Cache", "hit")
@@ -320,8 +332,6 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.tel.Add("server.cache.miss", 1)
 
-	// Singleflight: exactly one goroutine runs the pipeline per key; any
-	// concurrent identical request waits for the leader's bytes.
 	s.mu.Lock()
 	if c, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
@@ -346,7 +356,7 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 	s.tel.MaxGauge("server.inflight.max", float64(len(s.inflight)))
 	s.mu.Unlock()
 
-	c.status, c.body = s.run(req, p, key)
+	c.status, c.body = work()
 
 	s.mu.Lock()
 	delete(s.inflight, key)
