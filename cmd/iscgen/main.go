@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cfu"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/hdl"
 	"repro/internal/hwlib"
 	"repro/internal/telemetry"
@@ -29,6 +30,9 @@ func main() {
 	asmPath := flag.String("asm", "", "read the program from an assembly file instead of -bench")
 	budget := flag.Float64("budget", 15, "CFU area budget in adder units")
 	mode := flag.String("mode", "greedy", "selection heuristic: greedy, value, or dp")
+	strategy := flag.String("strategy", "enumerate", "exploration strategy: "+fmt.Sprint(explore.Strategies()))
+	costModel := flag.String("cost", "area", "guide cost model: "+fmt.Sprint(explore.CostModels()))
+	seed := flag.Int64("seed", 0, "restart-schedule seed for -strategy improve (deterministic per value)")
 	out := flag.String("o", "", "output MDES path (default stdout)")
 	maxIn := flag.Int("maxin", 5, "max CFU input ports")
 	maxOut := flag.Int("maxout", 3, "max CFU output ports")
@@ -68,7 +72,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.Config{Budget: *budget}
+	cfg := core.Config{Budget: *budget, Strategy: *strategy, CostModel: *costModel, Seed: *seed}
+	if err := explore.ValidStrategy(*strategy); err != nil {
+		log.Fatal(err)
+	}
+	if err := explore.ValidCostModel(*costModel); err != nil {
+		log.Fatal(err)
+	}
 	cfg.Constraints.MaxInputs = *maxIn
 	cfg.Constraints.MaxOutputs = *maxOut
 	cfg.ExploreDeadline = *deadline

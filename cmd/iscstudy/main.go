@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/explore"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
@@ -34,6 +35,10 @@ func main() {
 	multifunc := flag.Bool("multifunc", false, "multi-function CFU study (paper's future work)")
 	unroll := flag.Bool("unroll", false, "loop-unrolling study")
 	memcfu := flag.Bool("memcfu", false, "relaxed-memory CFU study (paper's future work)")
+	shootout := flag.Bool("shootout", false, "strategy shootout: every exploration strategy on the 13 benchmarks plus the large unrolled DFG, quality vs wall-clock")
+	strategy := flag.String("strategy", "enumerate", "exploration strategy for the studies: "+fmt.Sprint(explore.Strategies()))
+	costModel := flag.String("cost", "area", "guide cost model: "+fmt.Sprint(explore.CostModels()))
+	seed := flag.Int64("seed", 0, "restart-schedule seed for -strategy improve (deterministic per value)")
 	budget := flag.Float64("budget", 15, "cost point for the extension study")
 	deadline := flag.Duration("deadline", 0, "per-benchmark exploration wall-clock budget (0 = none); on expiry the best-so-far candidates are used")
 	maxCands := flag.Int("max-candidates", 0, "cap on candidate subgraphs recorded per benchmark (0 = unlimited)")
@@ -54,17 +59,26 @@ func main() {
 	}
 
 	if *all {
-		*fig3, *fig89, *limit, *ablate, *multifunc, *unroll, *memcfu = true, true, true, true, true, true, true
+		*fig3, *fig89, *limit, *ablate, *multifunc, *unroll, *memcfu, *shootout = true, true, true, true, true, true, true, true
 	}
-	if !*fig3 && !*fig89 && !*limit && !*ablate && !*multifunc && !*unroll && !*memcfu {
+	if !*fig3 && !*fig89 && !*limit && !*ablate && !*multifunc && !*unroll && !*memcfu && !*shootout {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := explore.ValidStrategy(*strategy); err != nil {
+		log.Fatal(err)
+	}
+	if err := explore.ValidCostModel(*costModel); err != nil {
+		log.Fatal(err)
 	}
 	h := experiment.NewHarness()
 	h.Parallelism = *jobs
 	h.Telemetry = tel
 	h.ExploreDeadline = *deadline
 	h.MaxCandidates = *maxCands
+	h.Strategy = *strategy
+	h.CostModel = *costModel
+	h.Seed = *seed
 	start := time.Now()
 
 	// A failing benchmark no longer aborts a study: its rows are skipped by
@@ -138,6 +152,19 @@ func main() {
 				continue
 			}
 			experiment.RenderUnroll(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+
+	if *shootout {
+		fmt.Println(experiment.Underline("Strategy shootout: quality vs wall-clock"))
+		inputs, err := experiment.ShootoutInputs()
+		if err != nil {
+			report("shootout", err)
+		} else {
+			rows, err := h.StrategyShootout(inputs, *budget)
+			report("shootout", err)
+			experiment.RenderShootout(os.Stdout, *budget, rows)
 			fmt.Println()
 		}
 	}

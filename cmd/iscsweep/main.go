@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/explore"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
@@ -28,6 +29,10 @@ func main() {
 	domain := flag.String("domain", "", "restrict to one domain (encryption, network, audio, image)")
 	cross := flag.Bool("cross", false, "also produce the cross-compilation curves")
 	maxBudget := flag.Int("maxbudget", 15, "largest area budget in adders")
+	strategy := flag.String("strategy", "enumerate", "exploration strategy: "+fmt.Sprint(explore.Strategies()))
+	costModel := flag.String("cost", "area", "guide cost model: "+fmt.Sprint(explore.CostModels()))
+	seed := flag.Int64("seed", 0, "restart-schedule seed for -strategy improve (deterministic per value)")
+	shootout := flag.Bool("shootout", false, "run the strategy comparison instead of the Figure 7 sweep: every strategy on the 13 benchmarks plus the large unrolled DFG, with quality-vs-wallclock columns")
 	verify := flag.Bool("verify", false, "verify every compile in the functional simulator")
 	deadline := flag.Duration("deadline", 0, "per-benchmark exploration wall-clock budget (0 = none); on expiry the best-so-far candidates are used and curves are marked [truncated]")
 	maxCands := flag.Int("max-candidates", 0, "cap on candidate subgraphs recorded per benchmark (0 = unlimited); hitting it marks curves [truncated]")
@@ -57,13 +62,36 @@ func main() {
 		domains = []string{*domain}
 	}
 
+	if err := explore.ValidStrategy(*strategy); err != nil {
+		log.Fatal(err)
+	}
+	if err := explore.ValidCostModel(*costModel); err != nil {
+		log.Fatal(err)
+	}
 	h := experiment.NewHarness()
 	h.Verify = *verify
 	h.Parallelism = *jobs
 	h.Telemetry = tel
 	h.ExploreDeadline = *deadline
 	h.MaxCandidates = *maxCands
+	h.Strategy = *strategy
+	h.CostModel = *costModel
+	h.Seed = *seed
 	start := time.Now()
+
+	if *shootout {
+		inputs, err := experiment.ShootoutInputs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := h.StrategyShootout(inputs, float64(*maxBudget))
+		experiment.RenderShootout(os.Stdout, float64(*maxBudget), rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shootout wall-clock %v", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	// A failing benchmark no longer aborts the sweep: its curve is skipped,
 	// a failure line goes to stderr, every other curve renders normally, and

@@ -31,6 +31,18 @@ type Config struct {
 	// SelectMode picks the selection heuristic (default greedy
 	// value/cost).
 	SelectMode cfu.SelectMode
+	// Strategy picks the candidate-discovery algorithm:
+	// explore.StrategyEnumerate (the default; "" means the same) or
+	// explore.StrategyImprove. Unknown names are rejected up front.
+	Strategy string
+	// CostModel picks the guide's pricing: explore.CostArea (the default;
+	// "" means the same) or explore.CostUarch, the microarchitecture-aware
+	// mode that prices candidates by register-port fit and pipeline stages
+	// instead of die area.
+	CostModel string
+	// Seed perturbs the improve strategy's restart schedule; runs are
+	// deterministic for any fixed value. Ignored by enumerate.
+	Seed int64
 	// UseVariants enables subsumed-subgraph matching in the compiler.
 	UseVariants bool
 	// UseOpcodeClasses enables wildcard (opcode-class) matching.
@@ -134,7 +146,16 @@ func GenerateMDES(p *ir.Program, cfg Config) (*mdes.MDES, error) {
 }
 
 func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
+	if err := explore.ValidStrategy(cfg.Strategy); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	if err := explore.ValidCostModel(cfg.CostModel); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
 	ecfg := explore.DefaultConfig(cfg.Lib)
+	ecfg.Strategy = cfg.Strategy
+	ecfg.CostModel = cfg.CostModel
+	ecfg.Seed = cfg.Seed
 	ecfg.Constraints = cfg.Constraints
 	ecfg.Telemetry = cfg.Telemetry
 	ecfg.Ctx = cfg.Ctx

@@ -47,6 +47,17 @@ type Harness struct {
 	ExploreConfig *explore.Config
 	// SelectMode is the selection heuristic (default GreedyRatio).
 	SelectMode cfu.SelectMode
+	// Strategy picks the candidate-discovery algorithm for every
+	// exploration the harness runs ("" = explore.StrategyEnumerate); see
+	// explore.Strategies. Like every configuration field, set it before
+	// the first run — the memo caches do not key on it.
+	Strategy string
+	// CostModel picks the guide's pricing ("" = explore.CostArea); see
+	// explore.CostModels.
+	CostModel string
+	// Seed perturbs the improve strategy's restart schedule (deterministic
+	// per value); ignored by enumerate.
+	Seed int64
 	// Parallelism bounds the number of concurrent compile jobs in the
 	// sweep and study harnesses (0 = runtime.GOMAXPROCS(0), 1 = serial).
 	// Set configuration fields before the first run: the memo caches key
@@ -143,6 +154,9 @@ func (h *Harness) candidatesFull(name string) (candSet, error) {
 		if h.ExploreConfig != nil {
 			cfg = *h.ExploreConfig
 		}
+		cfg.Strategy = h.Strategy
+		cfg.CostModel = h.CostModel
+		cfg.Seed = h.Seed
 		cfg.Telemetry = h.Telemetry
 		if h.Ctx != nil {
 			cfg.Ctx = h.Ctx

@@ -1,0 +1,168 @@
+// Strategy shootout: every registered exploration strategy run under
+// identical budgets over the 13 seed benchmarks plus a deliberately large
+// unrolled DFG, producing quality-versus-wallclock rows. The shootout is
+// the repo's testbed harness for comparing ISE discovery algorithms — the
+// enumerative grower is the quality reference, and the iterative-improvement
+// engine is the raw speed play on the blocks where enumeration blows up.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cfu"
+	"repro/internal/compile"
+	"repro/internal/explore"
+	"repro/internal/ir"
+	"repro/internal/mdes"
+	"repro/internal/workloads"
+)
+
+// ShootoutUnrollApp and ShootoutUnrollFactor define the shootout's
+// stress input: sha unrolled 16x, whose straight-line compression rounds
+// become one enormous basic block — the regime §2 of the paper reaches via
+// unrolling, where enumerative growth examines hundreds of thousands of
+// subgraphs and iterative improvement visits a few hundred.
+const (
+	ShootoutUnrollApp    = "sha"
+	ShootoutUnrollFactor = 16
+)
+
+// ShootoutInput is one program in the strategy shootout.
+type ShootoutInput struct {
+	// Name labels the row ("sha", "sha-x16").
+	Name string
+	// Program is the input application.
+	Program *ir.Program
+}
+
+// ShootoutInputs returns the shootout's program list: the paper's 13 seed
+// benchmarks plus the large unrolled DFG (ShootoutUnrollApp unrolled by
+// ShootoutUnrollFactor).
+func ShootoutInputs() ([]*ShootoutInput, error) {
+	var out []*ShootoutInput
+	for _, b := range workloads.All() {
+		out = append(out, &ShootoutInput{Name: b.Name, Program: b.Program})
+	}
+	base, err := workloads.ByName(ShootoutUnrollApp)
+	if err != nil {
+		return nil, err
+	}
+	up, err := ir.UnrollProgram(base.Program, ShootoutUnrollFactor)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, &ShootoutInput{
+		Name:    fmt.Sprintf("%s-x%d", ShootoutUnrollApp, ShootoutUnrollFactor),
+		Program: up,
+	})
+	return out, nil
+}
+
+// ShootoutRow is one (input, strategy) measurement of the shootout.
+type ShootoutRow struct {
+	Input    string
+	Strategy string
+	// Wall is the exploration stage's wall-clock time (the stage the
+	// strategies differ in; combination/selection/compile are shared).
+	Wall time.Duration
+	// Examined counts subgraphs the strategy visited; Candidates is the
+	// recorded pool size after exploration.
+	Examined   int
+	Candidates int
+	// Speedup and Savings (baseline minus custom weighted cycles) come
+	// from compiling the input on its own selected CFUs.
+	Speedup float64
+	Savings float64
+	// Truncated reports the exploration hit an anytime budget.
+	Truncated bool
+}
+
+// StrategyShootout runs every registered strategy over the inputs with
+// identical budgets and constraints — same MaxExamined valve, same anytime
+// deadline/candidate cap, same area budget at selection — and returns one
+// row per (input, strategy) in input-major, explore.Strategies order. The
+// shootout deliberately bypasses the harness memo caches: wall-clock is the
+// quantity under test, so every exploration runs fresh.
+func (h *Harness) StrategyShootout(inputs []*ShootoutInput, budget float64) ([]*ShootoutRow, error) {
+	var out []*ShootoutRow
+	for _, in := range inputs {
+		for _, strat := range explore.Strategies() {
+			cfg := explore.DefaultConfig(h.Lib)
+			if h.ExploreConfig != nil {
+				cfg = *h.ExploreConfig
+			}
+			cfg.Strategy = strat
+			cfg.CostModel = h.CostModel
+			cfg.Seed = h.Seed
+			cfg.Telemetry = h.Telemetry
+			if h.Ctx != nil {
+				cfg.Ctx = h.Ctx
+			}
+			if h.ExploreDeadline > 0 {
+				cfg.Deadline = h.ExploreDeadline
+			}
+			if h.MaxCandidates > 0 {
+				cfg.MaxCandidates = h.MaxCandidates
+			}
+			h.exploreParallel(&cfg)
+			start := time.Now()
+			res := explore.Explore(in.Program, cfg)
+			wall := time.Since(start)
+			cands := cfu.Combine(res, h.Lib, cfu.CombineOptions{Telemetry: h.Telemetry})
+			sel := cfu.Select(cands, cfu.SelectOptions{Budget: budget, Mode: h.SelectMode, Lib: h.Lib, Telemetry: h.Telemetry})
+			m := mdes.FromSelection(in.Name, budget, sel)
+			_, rep, err := compile.Compile(in.Program, m, compile.Options{Machine: h.Machine, Lib: h.Lib, Telemetry: h.Telemetry})
+			if err != nil {
+				return out, fmt.Errorf("experiment: shootout %s/%s: %w", in.Name, strat, err)
+			}
+			out = append(out, &ShootoutRow{
+				Input:      in.Name,
+				Strategy:   strat,
+				Wall:       wall,
+				Examined:   res.Stats.Examined,
+				Candidates: len(res.Candidates),
+				Speedup:    rep.Speedup,
+				Savings:    rep.BaselineCycles - rep.CustomCycles,
+				Truncated:  res.Stats.Truncated,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderShootout prints the quality-versus-wallclock table: per input, one
+// line per strategy with exploration wall time, visit/candidate counts and
+// achieved speedup, plus each strategy's quality and wall-clock relative to
+// the enumerate reference on the same input. Wall-clock figures vary run to
+// run, so this table is a measurement report, not golden-comparable output.
+func RenderShootout(w io.Writer, budget float64, rows []*ShootoutRow) {
+	fmt.Fprintf(w, "Strategy shootout at the %.0f-adder point: quality vs wall-clock\n", budget)
+	fmt.Fprintf(w, "  %-14s %-10s %10s %10s %8s %8s %9s %8s\n",
+		"input", "strategy", "wall", "examined", "cands", "speedup", "quality", "time")
+	ref := map[string]*ShootoutRow{}
+	for _, r := range rows {
+		if r.Strategy == explore.StrategyEnumerate {
+			ref[r.Input] = r
+		}
+	}
+	for _, r := range rows {
+		quality, rel := "-", "-"
+		if base := ref[r.Input]; base != nil && r.Strategy != explore.StrategyEnumerate {
+			if base.Savings > 0 {
+				quality = fmt.Sprintf("%.0f%%", 100*r.Savings/base.Savings)
+			}
+			if base.Wall > 0 {
+				rel = fmt.Sprintf("%.0f%%", 100*float64(r.Wall)/float64(base.Wall))
+			}
+		}
+		label := r.Input
+		if r.Truncated {
+			label += "*"
+		}
+		fmt.Fprintf(w, "  %-14s %-10s %10s %10d %8d %8.2f %9s %8s\n",
+			label, r.Strategy, r.Wall.Round(time.Millisecond), r.Examined,
+			r.Candidates, r.Speedup, quality, rel)
+	}
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/workloads"
+)
+
+// TestImproveVerifiesOnAllBenchmarks is the cross-strategy pipeline
+// invariant: every benchmark compiled on CFUs discovered by the improve
+// engine must pass the functional simulator's block-equivalence check and
+// never slow the program down. (The enumerate path is pinned by the golden
+// tests; this covers the new engine end to end.)
+func TestImproveVerifiesOnAllBenchmarks(t *testing.T) {
+	h := NewHarness()
+	h.Verify = true
+	h.Strategy = explore.StrategyImprove
+	for _, b := range workloads.All() {
+		res, err := h.Sweep(b.Name, b.Name, []float64{15})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if got := res.Points[0].Speedup; got < 1 {
+			t.Errorf("%s: improve CFUs slowed the program: speedup %v", b.Name, got)
+		}
+	}
+}
+
+// TestStrategyShootoutRows checks the shootout harness contract on a small
+// input set: one row per (input, strategy) in order, positive savings for
+// both strategies, and a rendered table that carries the relative-quality
+// columns.
+func TestStrategyShootoutRows(t *testing.T) {
+	h := NewHarness()
+	var inputs []*ShootoutInput
+	for _, name := range []string{"sha", "url"} {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, &ShootoutInput{Name: name, Program: b.Program})
+	}
+	rows, err := h.StrategyShootout(inputs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(inputs) * len(explore.Strategies())
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Savings <= 0 {
+			t.Errorf("%s/%s: savings %v, want > 0", r.Input, r.Strategy, r.Savings)
+		}
+		if r.Examined <= 0 || r.Candidates <= 0 {
+			t.Errorf("%s/%s: examined=%d candidates=%d", r.Input, r.Strategy, r.Examined, r.Candidates)
+		}
+		if r.Truncated {
+			t.Errorf("%s/%s: truncated without an anytime budget", r.Input, r.Strategy)
+		}
+	}
+	var sb strings.Builder
+	RenderShootout(&sb, 15, rows)
+	out := sb.String()
+	for _, needle := range []string{"quality", "enumerate", "improve", "sha", "url"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("rendered shootout lacks %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestShootoutInputsIncludeLargeDFG pins the shootout's stress input: the
+// 13 seed benchmarks plus the unrolled DFG, which must be strictly larger
+// than its base program.
+func TestShootoutInputsIncludeLargeDFG(t *testing.T) {
+	inputs, err := ShootoutInputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(workloads.All()) + 1; len(inputs) != want {
+		t.Fatalf("inputs = %d, want %d", len(inputs), want)
+	}
+	last := inputs[len(inputs)-1]
+	if last.Name != "sha-x16" {
+		t.Fatalf("stress input named %q", last.Name)
+	}
+	base, _ := workloads.ByName(ShootoutUnrollApp)
+	baseOps, bigOps := 0, 0
+	for _, b := range base.Program.Blocks {
+		baseOps += len(b.Ops)
+	}
+	for _, b := range last.Program.Blocks {
+		bigOps += len(b.Ops)
+	}
+	if bigOps < 8*baseOps {
+		t.Fatalf("unrolled DFG has %d ops, base %d — not a large-DFG stress input", bigOps, baseOps)
+	}
+}

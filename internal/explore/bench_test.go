@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/hwlib"
+	"repro/internal/ir"
 	"repro/internal/workloads"
 )
 
@@ -19,6 +20,52 @@ func BenchmarkExploreBlowfish(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := Explore(bench.Program, cfg)
+		if res.Stats.Examined == 0 {
+			b.Fatal("explored nothing")
+		}
+	}
+}
+
+// largeDFG returns sha unrolled 16x — the shootout's large-DFG stress
+// input, where the two strategies differ most.
+func largeDFG(b *testing.B) *ir.Program {
+	bench, err := workloads.ByName("sha")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := ir.UnrollProgram(bench.Program, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkEnumerateLargeDFG measures enumerative growth on the unrolled
+// DFG; it runs into the MaxExamined valve, so this is the cost of a
+// valve-bounded enumeration, the improve benchmark's reference point.
+func BenchmarkEnumerateLargeDFG(b *testing.B) {
+	p := largeDFG(b)
+	cfg := DefaultConfig(hwlib.Default())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Explore(p, cfg)
+		if res.Stats.Examined == 0 {
+			b.Fatal("explored nothing")
+		}
+	}
+}
+
+// BenchmarkImproveLargeDFG measures the iterative-improvement engine on the
+// same unrolled DFG (chain sweeps plus KL refinement over every block).
+func BenchmarkImproveLargeDFG(b *testing.B) {
+	p := largeDFG(b)
+	cfg := DefaultConfig(hwlib.Default())
+	cfg.Strategy = StrategyImprove
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Explore(p, cfg)
 		if res.Stats.Examined == 0 {
 			b.Fatal("explored nothing")
 		}

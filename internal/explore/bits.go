@@ -55,6 +55,27 @@ func (b bitset) andNotCount(mask bitset) int {
 	return n
 }
 
+// andCount returns popcount(b & mask); the shorter operand's missing words
+// are zero.
+func (b bitset) andCount(mask bitset) int {
+	m := len(b)
+	if len(mask) < m {
+		m = len(mask)
+	}
+	n := 0
+	for i := 0; i < m; i++ {
+		n += bits.OnesCount64(b[i] & mask[i])
+	}
+	return n
+}
+
+// zero clears every word.
+func (b bitset) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 // intersects reports whether b and o share any set bit.
 func (b bitset) intersects(o bitset) bool {
 	m := len(b)

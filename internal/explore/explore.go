@@ -86,6 +86,18 @@ type Config struct {
 	Constraints
 	// Lib supplies cost estimates and CFU eligibility. Required.
 	Lib *hwlib.Library
+	// Strategy picks the candidate-discovery algorithm: StrategyEnumerate
+	// (the default; "" means the same) or StrategyImprove. Validate names
+	// arriving from a configuration boundary with ValidStrategy first:
+	// Explore panics on an unknown name rather than silently falling back.
+	Strategy string
+	// CostModel picks how the guide scoring prices candidates: CostArea
+	// (the default; "" means the same) prices by die area as in the paper,
+	// CostUarch by pipeline-port and latency fit (microarchitecture-aware).
+	CostModel string
+	// Seed perturbs the improve strategy's restart schedule. Runs with the
+	// same seed are deterministic; enumeration ignores it entirely.
+	Seed int64
 	// Naive disables the guide function, growing in all directions; used
 	// by the Figure 3 comparison. Protect with MaxExamined.
 	Naive bool
@@ -271,6 +283,7 @@ func (bud *budget) exhausted(res *Result) bool {
 // serial run.
 func Explore(p *ir.Program, cfg Config) *Result {
 	defer cfg.Telemetry.StartSpan("explore")()
+	strat := cfg.strategy()
 	res := &Result{Stats: Stats{BySize: make(map[int]int)}}
 	bud := newBudget(cfg)
 	if bud != nil && bud.cancel != nil {
@@ -283,13 +296,13 @@ func Explore(p *ir.Program, cfg Config) *Result {
 		}
 	}
 	if bud == nil && cfg.Workers > 1 && nonEmpty > 1 {
-		exploreBlocksParallel(p.Blocks, cfg, res)
+		exploreBlocksParallel(strat, p.Blocks, cfg, res)
 	} else {
 		for _, b := range p.Blocks {
 			if bud.exhausted(res) {
 				break
 			}
-			exploreBlock(b, cfg, res, bud)
+			strat.exploreBlock(b, cfg, res, bud)
 		}
 	}
 	// Candidate counts before/after guide pruning: every examined subgraph
@@ -315,7 +328,7 @@ func Explore(p *ir.Program, cfg Config) *Result {
 // panicking block re-panics here (lowest block index first, matching the
 // serial run) after all workers have drained, for the caller's panic fence
 // to convert.
-func exploreBlocksParallel(blocks []*ir.Block, cfg Config, res *Result) {
+func exploreBlocksParallel(strat Strategy, blocks []*ir.Block, cfg Config, res *Result) {
 	n := len(blocks)
 	results := make([]*Result, n)
 	panics := make([]any, n)
@@ -335,7 +348,7 @@ func exploreBlocksParallel(blocks []*ir.Block, cfg Config, res *Result) {
 					}
 				}()
 				r := &Result{Stats: Stats{BySize: make(map[int]int)}}
-				exploreBlock(blocks[i], cfg, r, nil)
+				strat.exploreBlock(blocks[i], cfg, r, nil)
 				results[i] = r
 			}()
 		}
@@ -386,14 +399,15 @@ func exploreBlocksParallel(blocks []*ir.Block, cfg Config, res *Result) {
 	}
 }
 
-// ExploreBlock runs the space explorer over a single block.
+// ExploreBlock runs the configured strategy over a single block.
 func ExploreBlock(b *ir.Block, cfg Config) *Result {
+	strat := cfg.strategy()
 	res := &Result{Stats: Stats{BySize: make(map[int]int)}}
 	bud := newBudget(cfg)
 	if bud != nil && bud.cancel != nil {
 		defer bud.cancel()
 	}
-	exploreBlock(b, cfg, res, bud)
+	strat.exploreBlock(b, cfg, res, bud)
 	return res
 }
 
@@ -732,6 +746,8 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 	if maxExamined == 0 {
 		maxExamined = 200000
 	}
+	uarch := cfg.CostModel == CostUarch
+	maxPorts := cfg.MaxInputs + cfg.MaxOutputs
 
 	visited := newVisitedSet((ctx.n + 63) / 64)
 	var queue []*workItem
@@ -743,33 +759,7 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 		res.Stats.VisitedCollisions += visited.collisions
 	}()
 
-	record := func(w *workItem) {
-		// Only subgraphs that would save cycles as a CFU are worth handing
-		// to the combination stage: the unit issues once and completes in
-		// ceil(latency) cycles versus one issue slot per op.
-		cycles := int(math.Ceil(w.latency))
-		if cycles < 1 {
-			cycles = 1
-		}
-		if len(w.members)-cycles < 1 {
-			return
-		}
-		if w.in > cfg.MaxInputs || w.out > cfg.MaxOutputs {
-			return
-		}
-		if cfg.MaxArea > 0 && w.area > cfg.MaxArea {
-			return
-		}
-		if !ctx.convex(w) {
-			return
-		}
-		res.Candidates = append(res.Candidates, Candidate{
-			Block: b, DFG: ctx.d, Set: ir.NewOpSet(w.members...),
-			Area: w.area, Latency: w.latency,
-			Inputs: w.in, Outputs: w.out,
-		})
-		res.Stats.Recorded++
-	}
+	record := func(w *workItem) { recordCandidate(ctx, b, cfg, res, w) }
 
 	// push takes ownership of w: a duplicate is released back to the pool,
 	// a fresh subgraph is recorded and queued.
@@ -846,7 +836,12 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 					accepted = append(accepted, scored{grown, 0})
 					continue
 				}
-				s := guideScore(ctx, cur, grown, nb, weights)
+				var s float64
+				if uarch {
+					s = uarchScore(ctx, cur, grown, nb, weights, maxPorts)
+				} else {
+					s = guideScore(ctx, cur, grown, nb, weights)
+				}
 				if s < threshold {
 					res.Stats.PrunedDirections++
 					ctx.release(grown)
@@ -880,8 +875,43 @@ func exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
 	}
 }
 
+// recordCandidate applies the shared candidate filter — positive cycle
+// savings, port and area constraints, convexity — and appends w to res when
+// it passes. Every strategy records through this one filter, so the
+// candidate contract seen by combination and selection is identical no
+// matter how the cut was discovered.
+func recordCandidate(ctx *blockCtx, b *ir.Block, cfg Config, res *Result, w *workItem) {
+	// Only subgraphs that would save cycles as a CFU are worth handing
+	// to the combination stage: the unit issues once and completes in
+	// ceil(latency) cycles versus one issue slot per op.
+	cycles := int(math.Ceil(w.latency))
+	if cycles < 1 {
+		cycles = 1
+	}
+	if len(w.members)-cycles < 1 {
+		return
+	}
+	if w.in > cfg.MaxInputs || w.out > cfg.MaxOutputs {
+		return
+	}
+	if cfg.MaxArea > 0 && w.area > cfg.MaxArea {
+		return
+	}
+	if !ctx.convex(w) {
+		return
+	}
+	res.Candidates = append(res.Candidates, Candidate{
+		Block: b, DFG: ctx.d, Set: ir.NewOpSet(w.members...),
+		Area: w.area, Latency: w.latency,
+		Inputs: w.in, Outputs: w.out,
+	})
+	res.Stats.Recorded++
+}
+
 // guideScore ranks the desirability of having grown candidate cur into
-// grown by adding node nb.
+// grown by adding node nb. With uarch set (Config.CostModel == CostUarch)
+// the area and latency categories price microarchitectural fit instead of
+// die area: see uarchScore.
 func guideScore(ctx *blockCtx, cur, grown *workItem, nb int, w GuideWeights) float64 {
 	// Criticality: 10/(slack+1); nodes on the critical path score full.
 	crit := w.Criticality / float64(ctx.d.Slack[nb]+1)
@@ -909,6 +939,38 @@ func guideScore(ctx *blockCtx, cur, grown *workItem, nb int, w GuideWeights) flo
 	}
 
 	return crit + lat + area + io
+}
+
+// uarchScore is the microarchitecture-aware guide scoring (CostUarch): the
+// same four categories and point budget as guideScore, but the latency and
+// area categories price pipeline fit instead of raw delay and die area.
+// Latency awards full points while growth stays inside the current number
+// of whole-cycle pipeline stages (extra combinational delay is free until
+// it costs a stage), and the area points become a register-port-fit score:
+// full while the grown candidate's total ports fit the machine's port
+// budget, shrinking proportionally as the demand overshoots it.
+func uarchScore(ctx *blockCtx, cur, grown *workItem, nb int, w GuideWeights, maxPorts int) float64 {
+	crit := w.Criticality / float64(ctx.d.Slack[nb]+1)
+
+	oldStages := math.Max(1, math.Ceil(cur.latency))
+	newStages := math.Max(1, math.Ceil(grown.latency))
+	lat := w.Latency
+	if newStages > oldStages {
+		lat = oldStages / newStages * w.Latency
+	}
+
+	fit := w.Area
+	if ports := grown.in + grown.out; ports > maxPorts && ports > 0 {
+		fit = float64(maxPorts) / float64(ports) * w.Area
+	}
+
+	oldPorts, newPorts := cur.in+cur.out, grown.in+grown.out
+	io := w.IO
+	if newPorts > 0 {
+		io = math.Min(float64(oldPorts)/float64(newPorts)*w.IO, w.IO)
+	}
+
+	return crit + lat + fit + io
 }
 
 // pruneCandidates implements the Sun-style ablation: drop queued candidates

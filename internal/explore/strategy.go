@@ -1,0 +1,124 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Strategy is one pluggable candidate-discovery algorithm. A strategy owns
+// the search over a single block's dataflow graph: it appends every
+// constraint-satisfying subgraph it decides to keep to the shared Result
+// (through the same recording filter as every other strategy, so the
+// candidate contract is identical downstream) and honors the anytime budget
+// between steps. The interface is sealed (the per-block hook is unexported)
+// because strategies reach deep into the block context internals; new
+// algorithms are added here, next to the existing two, and registered in
+// strategyByName.
+type Strategy interface {
+	// Name returns the wire/flag spelling of the strategy ("enumerate",
+	// "improve").
+	Name() string
+	// exploreBlock discovers candidates in one block, appending them to res
+	// and checking bud between steps. Implementations must be deterministic
+	// for a fixed Config: per-block results are merged in block order, so a
+	// deterministic block engine makes the whole run reproducible at every
+	// Workers setting.
+	exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget)
+}
+
+// Strategy names accepted by Config.Strategy, the -strategy CLI flags, and
+// the iscd request field. The empty string means StrategyEnumerate.
+const (
+	// StrategyEnumerate is the paper's guided enumerative grower: breadth-
+	// first growth from every seed op, directions ranked by the guide
+	// function. The default, and byte-identical to the pre-strategy code.
+	StrategyEnumerate = "enumerate"
+	// StrategyImprove is the ISEGEN-style iterative-improvement engine:
+	// Kernighan–Lin-flavored toggle moves on a working cut, with per-pass
+	// tabu locking and best-state backtracking. It visits a tiny fraction
+	// of the subgraphs enumeration does, which is the raw speed play on
+	// large unrolled DFGs where enumeration explodes.
+	StrategyImprove = "improve"
+)
+
+// Cost-model names accepted by Config.CostModel. The empty string means
+// CostArea.
+const (
+	// CostArea is the paper's guide scoring: the area category prices a
+	// growth direction by die area (old/new ratio in rounded half-adders).
+	CostArea = "area"
+	// CostUarch is the microarchitecture-aware cost mode (PAPERS.md: the
+	// RWTH RISC-V paper): candidates are priced by how cleanly they drop
+	// into the host pipeline — register-port fit and whole-cycle pipeline
+	// stages — instead of by die area.
+	CostUarch = "uarch"
+)
+
+// Strategies lists the registered exploration strategies in stable order.
+func Strategies() []string { return []string{StrategyEnumerate, StrategyImprove} }
+
+// CostModels lists the registered guide cost modes in stable order.
+func CostModels() []string { return []string{CostArea, CostUarch} }
+
+// ValidStrategy reports whether name (or "", the default) names a
+// registered strategy. Every configuration boundary — core.Config, the CLI
+// flags, the iscd request — validates through here so an unknown name is an
+// error at the edge, never a silent fallback that would alias cache entries.
+func ValidStrategy(name string) error {
+	_, err := strategyByName(name)
+	return err
+}
+
+// ValidCostModel reports whether name (or "", the default) names a
+// registered guide cost mode.
+func ValidCostModel(name string) error {
+	switch name {
+	case "", CostArea, CostUarch:
+		return nil
+	}
+	return fmt.Errorf("explore: unknown cost model %q (want %v)", name, CostModels())
+}
+
+// strategyByName resolves a strategy name ("" = enumerate).
+func strategyByName(name string) (Strategy, error) {
+	switch name {
+	case "", StrategyEnumerate:
+		return enumerateStrategy{}, nil
+	case StrategyImprove:
+		return improveStrategy{}, nil
+	}
+	return nil, fmt.Errorf("explore: unknown strategy %q (want %v)", name, Strategies())
+}
+
+// strategy resolves cfg.Strategy, panicking on an unknown name: Explore has
+// no error return, and every public entry point validates with
+// ValidStrategy before running, so reaching the panic is a caller bug.
+func (c Config) strategy() Strategy {
+	s, err := strategyByName(c.Strategy)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// enumerateStrategy is the paper's guided enumerative grower (the code that
+// predates the Strategy split, unchanged).
+type enumerateStrategy struct{}
+
+// Name returns "enumerate".
+func (enumerateStrategy) Name() string { return StrategyEnumerate }
+
+func (enumerateStrategy) exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
+	exploreBlock(b, cfg, res, bud)
+}
+
+// improveStrategy is the ISEGEN-style iterative-improvement engine.
+type improveStrategy struct{}
+
+// Name returns "improve".
+func (improveStrategy) Name() string { return StrategyImprove }
+
+func (improveStrategy) exploreBlock(b *ir.Block, cfg Config, res *Result, bud *budget) {
+	improveBlock(b, cfg, res, bud)
+}

@@ -74,6 +74,8 @@ func requestFromQuery(q url.Values) (Request, error) {
 	var req Request
 	req.Benchmark = q.Get("benchmark")
 	req.SelectMode = q.Get("select_mode")
+	req.Strategy = q.Get("strategy")
+	req.CostModel = q.Get("cost_model")
 	var err error
 	number := func(key string, set func(float64)) {
 		if v := q.Get(key); v != "" && err == nil {
@@ -137,7 +139,7 @@ func (s *Server) handleHDL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "want GET or POST")
 		return
 	}
-	req = req.normalized()
+	req = req.normalized(s.cfg.DefaultDeadline)
 	p, status, err := s.resolveProgram(req)
 	if err != nil {
 		writeError(w, status, "%v", err)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cfu"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/ir"
 )
 
@@ -30,6 +31,11 @@ type Request struct {
 	// SelectMode picks the selection heuristic: "greedy" (default),
 	// "value", or "dp".
 	SelectMode string `json:"select_mode,omitempty"`
+	// Strategy picks the candidate-discovery algorithm: "enumerate"
+	// (default) or "improve".
+	Strategy string `json:"strategy,omitempty"`
+	// CostModel picks the guide's pricing: "area" (default) or "uarch".
+	CostModel string `json:"cost_model,omitempty"`
 	// UseVariants / UseOpcodeClasses enable the compiler's subsumed-
 	// subgraph and wildcard generalizations.
 	UseVariants      bool `json:"use_variants,omitempty"`
@@ -49,8 +55,11 @@ type Request struct {
 }
 
 // normalized returns the request with every defaulted field made explicit,
-// so semantically identical requests share one cache key.
-func (r Request) normalized() Request {
+// so semantically identical requests share one cache key. defaultDeadline is
+// the server's default pipeline deadline: a zero DeadlineMS resolves against
+// it here, before cacheKey hashes the request, so "deadline_ms": 0 and the
+// explicitly spelled server default coalesce and share one cache entry.
+func (r Request) normalized(defaultDeadline time.Duration) Request {
 	if r.Budget == 0 {
 		r.Budget = 15
 	}
@@ -62,6 +71,15 @@ func (r Request) normalized() Request {
 	}
 	if r.SelectMode == "" {
 		r.SelectMode = "greedy"
+	}
+	if r.Strategy == "" {
+		r.Strategy = explore.StrategyEnumerate
+	}
+	if r.CostModel == "" {
+		r.CostModel = explore.CostArea
+	}
+	if r.DeadlineMS <= 0 {
+		r.DeadlineMS = int(defaultDeadline / time.Millisecond)
 	}
 	return r
 }
@@ -88,9 +106,17 @@ func (r Request) toConfig() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	if err := explore.ValidStrategy(r.Strategy); err != nil {
+		return core.Config{}, err
+	}
+	if err := explore.ValidCostModel(r.CostModel); err != nil {
+		return core.Config{}, err
+	}
 	cfg := core.Config{
 		Budget:           r.Budget,
 		SelectMode:       mode,
+		Strategy:         r.Strategy,
+		CostModel:        r.CostModel,
 		UseVariants:      r.UseVariants,
 		UseOpcodeClasses: r.UseOpcodeClasses,
 		MultiFunction:    r.MultiFunction,
@@ -104,7 +130,8 @@ func (r Request) toConfig() (core.Config, error) {
 }
 
 // deadline resolves the request's pipeline deadline against the server
-// default.
+// default. On a normalized request DeadlineMS is already explicit, so the
+// fallback only triggers for a raw request (or a server with no default).
 func (r Request) deadline(def time.Duration) time.Duration {
 	if r.DeadlineMS > 0 {
 		return time.Duration(r.DeadlineMS) * time.Millisecond
@@ -124,6 +151,7 @@ func (r Request) cacheKey(kind string, p *ir.Program) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "iscd/v1\nkind %s\nprogram %s\nbudget %g\nports %d/%d\nmode %s\n",
 		kind, ir.Fingerprint(p), r.Budget, r.MaxInputs, r.MaxOutputs, r.SelectMode)
+	fmt.Fprintf(h, "strategy %s cost_model %s\n", r.Strategy, r.CostModel)
 	fmt.Fprintf(h, "variants %t classes %t multi %t opt %t verify %t\n",
 		r.UseVariants, r.UseOpcodeClasses, r.MultiFunction, r.Optimize, r.Verify)
 	fmt.Fprintf(h, "deadline_ms %d max_candidates %d\n", r.DeadlineMS, r.MaxCandidates)

@@ -1,10 +1,17 @@
 package server
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/ir"
 )
+
+// testDeadline is the server default deadline the key tests normalize
+// against; any non-zero value works, the tests only need one fixed point.
+const testDeadline = 2 * time.Second
 
 // buildHashKernel emits the same two-block DFG with the pure ops of the hot
 // block in a caller-chosen order and arbitrary op IDs.
@@ -36,7 +43,7 @@ func buildHashKernel(reordered bool) *ir.Program {
 // different orders (and with different op IDs) must share one cache key —
 // that is what makes resubmission after cosmetic edits a cache hit.
 func TestCacheKeyCanonicalizesNodeOrder(t *testing.T) {
-	req := Request{Budget: 10}.normalized()
+	req := Request{Budget: 10}.normalized(testDeadline)
 	a, c := buildHashKernel(false), buildHashKernel(true)
 	if a.String() == c.String() {
 		t.Fatal("test is vacuous: programs have identical text")
@@ -47,7 +54,7 @@ func TestCacheKeyCanonicalizesNodeOrder(t *testing.T) {
 }
 
 func TestCacheKeySensitiveToProgram(t *testing.T) {
-	req := Request{}.normalized()
+	req := Request{}.normalized(testDeadline)
 	base := req.cacheKey("customize", buildHashKernel(false))
 	p := buildHashKernel(false)
 	p.Blocks[0].Weight = 4999
@@ -56,45 +63,133 @@ func TestCacheKeySensitiveToProgram(t *testing.T) {
 	}
 }
 
-// Every configuration field of the request must feed the key: changing any
-// one of them is different work and must never alias a cached result.
-func TestCacheKeySensitiveToEveryConfigField(t *testing.T) {
-	p := buildHashKernel(false)
-	base := Request{}.normalized().cacheKey("customize", p)
-	mutations := map[string]func(*Request){
-		"budget":             func(r *Request) { r.Budget = 7 },
-		"max_inputs":         func(r *Request) { r.MaxInputs = 4 },
-		"max_outputs":        func(r *Request) { r.MaxOutputs = 2 },
-		"select_mode":        func(r *Request) { r.SelectMode = "dp" },
-		"use_variants":       func(r *Request) { r.UseVariants = true },
-		"use_opcode_classes": func(r *Request) { r.UseOpcodeClasses = true },
-		"multi_function":     func(r *Request) { r.MultiFunction = true },
-		"optimize":           func(r *Request) { r.Optimize = true },
-		"verify":             func(r *Request) { r.Verify = true },
-		"deadline_ms":        func(r *Request) { r.DeadlineMS = 250 },
-		"max_candidates":     func(r *Request) { r.MaxCandidates = 100 },
+// requestIdentityFields lists the Request fields that select the input
+// program rather than configure the pipeline. They reach the cache key
+// through ir.Fingerprint of the resolved program — hashing the handle text
+// itself would make renamed-but-identical programs distinct — so the
+// reflection guard skips them.
+var requestIdentityFields = map[string]bool{
+	"Benchmark": true,
+	"Program":   true,
+}
+
+// mutate sets field (addressable) to a value different from its current
+// one, returning false for kinds the guard does not know how to perturb.
+func mutate(field reflect.Value) bool {
+	switch field.Kind() {
+	case reflect.String:
+		field.SetString(field.String() + "-mutant")
+	case reflect.Bool:
+		field.SetBool(!field.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		field.SetInt(field.Int() + 17)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		field.SetUint(field.Uint() + 17)
+	case reflect.Float32, reflect.Float64:
+		field.SetFloat(field.Float() + 2.5)
+	default:
+		return false
 	}
+	return true
+}
+
+// Every configuration field of Request must feed cacheKey: changing any one
+// of them is different work and must never alias a cached result. The walk
+// is reflective so a future knob added to Request but forgotten in cacheKey
+// fails here instead of silently poisoning the cache.
+func TestCacheKeySensitiveToEveryRequestField(t *testing.T) {
+	p := buildHashKernel(false)
+	base := Request{}.normalized(testDeadline)
+	baseKey := base.cacheKey("customize", p)
 	seen := map[string]string{}
-	for label, mutate := range mutations {
-		r := Request{}.normalized()
-		mutate(&r)
+	rt := reflect.TypeOf(Request{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if requestIdentityFields[name] {
+			continue
+		}
+		r := base
+		if !mutate(reflect.ValueOf(&r).Elem().Field(i)) {
+			t.Fatalf("field %s has kind %s the guard cannot mutate; extend mutate()", name, rt.Field(i).Type.Kind())
+		}
 		key := r.cacheKey("customize", p)
-		if key == base {
-			t.Errorf("changing %s did not change the cache key", label)
+		if key == baseKey {
+			t.Errorf("changing %s did not change the cache key", name)
 		}
 		if prev, dup := seen[key]; dup {
-			t.Errorf("%s and %s collide on one key", label, prev)
+			t.Errorf("%s and %s collide on one key", name, prev)
 		}
-		seen[key] = label
+		seen[key] = name
 	}
 }
 
-// Spelled-out defaults and zero values are the same request.
+// Spelled-out defaults and zero values are the same request. The explicit
+// spelling is derived from the normalized zero request itself, so a new
+// field with a default added to normalized() is covered automatically.
 func TestCacheKeyNormalizesDefaults(t *testing.T) {
 	p := buildHashKernel(false)
-	implicit := Request{}.normalized().cacheKey("customize", p)
-	explicit := Request{Budget: 15, MaxInputs: 5, MaxOutputs: 3, SelectMode: "greedy"}.normalized().cacheKey("customize", p)
+	norm := Request{}.normalized(testDeadline)
+	implicit := norm.cacheKey("customize", p)
+	// Normalizing must be idempotent...
+	if again := norm.normalized(testDeadline); again != norm {
+		t.Errorf("normalized() is not idempotent: %+v != %+v", again, norm)
+	}
+	// ...and every individually spelled-out default must collide with zero.
+	rt := reflect.TypeOf(Request{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if requestIdentityFields[name] {
+			continue
+		}
+		var r Request
+		reflect.ValueOf(&r).Elem().Field(i).Set(reflect.ValueOf(norm).Field(i))
+		if key := r.normalized(testDeadline).cacheKey("customize", p); key != implicit {
+			t.Errorf("spelling out the default %s changed the cache key", name)
+		}
+	}
+}
+
+// Regression test: a request leaving deadline_ms at 0 and one spelling out
+// the server's default deadline are the same work and must share one cache
+// key — otherwise identical runs are neither coalesced by singleflight nor
+// shared in the LRU. normalized() must resolve DeadlineMS against the
+// server default before cacheKey hashes it.
+func TestCacheKeyNormalizesDeadline(t *testing.T) {
+	p := buildHashKernel(false)
+	implicit := Request{}.normalized(testDeadline).cacheKey("customize", p)
+	spelled := Request{DeadlineMS: int(testDeadline / time.Millisecond)}
+	explicit := spelled.normalized(testDeadline).cacheKey("customize", p)
 	if implicit != explicit {
-		t.Error("zero-valued and explicitly-defaulted requests produced different keys")
+		t.Error("deadline_ms 0 and the spelled-out server default produced different cache keys")
+	}
+	// A genuinely different deadline is different work (truncation point
+	// differs) and must not collide with the default.
+	other := Request{DeadlineMS: int(testDeadline/time.Millisecond) + 1000}
+	if other.normalized(testDeadline).cacheKey("customize", p) == implicit {
+		t.Error("a non-default deadline_ms collided with the default's cache key")
+	}
+}
+
+// The strategy knob is part of cache identity: enumerate and improve runs
+// on one program must occupy distinct cache entries, and the default
+// spelling normalizes like every other field.
+func TestCacheKeySeparatesStrategies(t *testing.T) {
+	p := buildHashKernel(false)
+	keys := map[string]string{}
+	for _, strat := range []string{"", "enumerate", "improve"} {
+		for _, cost := range []string{"", "area", "uarch"} {
+			r := Request{Strategy: strat, CostModel: cost}.normalized(testDeadline)
+			keys[fmt.Sprintf("%s/%s", strat, cost)] = r.cacheKey("customize", p)
+		}
+	}
+	if keys["/"] != keys["enumerate/area"] {
+		t.Error("default strategy spelling did not normalize to enumerate/area")
+	}
+	distinct := map[string]bool{}
+	for _, combo := range []string{"enumerate/area", "enumerate/uarch", "improve/area", "improve/uarch"} {
+		if distinct[keys[combo]] {
+			t.Errorf("strategy/cost combination %s aliases another combination", combo)
+		}
+		distinct[keys[combo]] = true
 	}
 }

@@ -301,7 +301,7 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request JSON: %v", err)
 		return
 	}
-	req = req.normalized()
+	req = req.normalized(s.cfg.DefaultDeadline)
 	p, status, err := s.resolveProgram(req)
 	if err != nil {
 		writeError(w, status, "%v", err)
