@@ -34,6 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iscd: ")
 	addr := flag.String("addr", "localhost:8080", "listen address")
+	name := flag.String("name", "iscd", "replica name (appears in /healthz and keys the replica fault-injection site)")
 	jobs := flag.Int("j", 0, "pipeline token budget shared by requests and their block-exploration workers (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", 256, "result-cache capacity in entries")
 	deadline := flag.Duration("deadline", 0, "default per-request pipeline deadline (0 = none); expiry returns a truncated best-so-far result")
@@ -50,6 +51,7 @@ func main() {
 	}
 	tel := telemetry.New("iscd")
 	srv := server.New(server.Config{
+		Name:            *name,
 		MaxConcurrent:   *jobs,
 		CacheEntries:    *cacheEntries,
 		DefaultDeadline: *deadline,

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a continuous-refill token bucket: Take spends one token when
+// one is available. The clock is injectable so admission tests run without
+// sleeping.
+type Bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	rate   float64 // tokens per second
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewBucket returns a full bucket refilling at rate tokens/second up to
+// burst. Non-positive parameters are clamped to a minimal working bucket
+// (rate 1/s, burst 1).
+func NewBucket(rate, burst float64) *Bucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	b := &Bucket{tokens: burst, burst: burst, rate: rate, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+func (b *Bucket) refillLocked() {
+	t := b.now()
+	b.tokens = min(b.burst, b.tokens+b.rate*t.Sub(b.last).Seconds())
+	b.last = t
+}
+
+// Take spends one token if available.
+func (b *Bucket) Take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Eta estimates how long until a token will be available: the Retry-After
+// hint on a shed response. Zero means a token is ready now.
+func (b *Bucket) Eta() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// ClassLimits sizes one SLO class's token bucket.
+type ClassLimits struct {
+	// Rate is the steady-state admission rate in requests/second.
+	Rate float64
+	// Burst is the bucket depth: how far above Rate a transient spike may
+	// ride before degrading starts.
+	Burst float64
+}
+
+// AdmissionConfig sizes the four buckets of the admission controller. Zero
+// limits take generous defaults (a cluster that was not configured to
+// shed should not shed).
+type AdmissionConfig struct {
+	// Gold, Silver, Bronze are the per-class buckets: a request is fully
+	// admitted — full deadline — while its class bucket has tokens.
+	Gold, Silver, Bronze ClassLimits
+	// Degraded is the shared overflow pool: a request whose class bucket
+	// is empty is admitted with a shrunken deadline from here before any
+	// shedding happens. Anytime truncation is the cluster's pressure-relief
+	// valve; 503 is the last resort.
+	Degraded ClassLimits
+}
+
+func (c ClassLimits) orDefault(d ClassLimits) ClassLimits {
+	if c.Rate <= 0 {
+		c.Rate = d.Rate
+	}
+	if c.Burst <= 0 {
+		c.Burst = d.Burst
+	}
+	return c
+}
+
+// Decision is the admission controller's verdict on one request.
+type Decision struct {
+	// Admitted says the request may run; Degraded says it was admitted on
+	// the overflow pool (or a borrowed lower-class bucket) and must run
+	// with a shrunken deadline, surfacing overload as a Truncated
+	// best-so-far result instead of an error.
+	Admitted bool
+	Degraded bool
+	// RetryAfter is the client hint on a shed (not admitted) request.
+	RetryAfter time.Duration
+}
+
+// Admission is the router's token-bucket admission controller. The
+// shedding order under sustained overload is fixed by construction:
+// every class degrades (shrinks deadlines) before it sheds, and gold
+// borrows silver's and bronze's tokens after the shared pool runs dry —
+// so bronze is rejected first and gold last.
+type Admission struct {
+	class    map[SLO]*Bucket
+	degraded *Bucket
+}
+
+// NewAdmission builds the controller from cfg, defaulting unset limits.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	def := ClassLimits{Rate: 100, Burst: 200}
+	g := cfg.Gold.orDefault(def)
+	s := cfg.Silver.orDefault(def)
+	b := cfg.Bronze.orDefault(def)
+	d := cfg.Degraded.orDefault(ClassLimits{Rate: 50, Burst: 100})
+	return &Admission{
+		class: map[SLO]*Bucket{
+			Gold:   NewBucket(g.Rate, g.Burst),
+			Silver: NewBucket(s.Rate, s.Burst),
+			Bronze: NewBucket(b.Rate, b.Burst),
+		},
+		degraded: NewBucket(d.Rate, d.Burst),
+	}
+}
+
+// Admit decides one request's fate: full admission from its class bucket,
+// degraded admission from the shared pool, then — above bronze — degraded
+// admission borrowed from every strictly lower class's bucket, and only
+// then shed with a Retry-After hint.
+func (a *Admission) Admit(class SLO) Decision {
+	if a.class[class].Take() {
+		return Decision{Admitted: true}
+	}
+	if a.degraded.Take() {
+		return Decision{Admitted: true, Degraded: true}
+	}
+	// Borrowing lowest class first drains bronze's capacity before
+	// silver's, preserving the shed order even among borrowers.
+	for lower := Bronze; lower < class; lower++ {
+		if a.class[lower].Take() {
+			return Decision{Admitted: true, Degraded: true}
+		}
+	}
+	return Decision{RetryAfter: a.retryAfter(class)}
+}
+
+// retryAfter hints when this class will next have a token: the soonest
+// ETA across every bucket the class may draw from, floored at 1s —
+// sub-second hints just synchronize the retry stampede.
+func (a *Admission) retryAfter(class SLO) time.Duration {
+	eta := a.class[class].Eta()
+	if d := a.degraded.Eta(); d < eta {
+		eta = d
+	}
+	for lower := Bronze; lower < class; lower++ {
+		if d := a.class[lower].Eta(); d < eta {
+			eta = d
+		}
+	}
+	return max(eta, time.Second)
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps a breaker or bucket through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, time.Second)
+	b.now = clk.now
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	if b.State() != "open" {
+		t.Fatalf("state = %q, want open", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Second)
+	b.now = clk.now
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker closed immediately after opening")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooloff elapsed but no half-open probe admitted")
+	}
+	// Exactly one probe: a second caller is refused while it is in flight.
+	if b.Allow() {
+		t.Fatal("two probes admitted in half-open")
+	}
+	b.Failure() // probe failed: re-open for a full cooloff
+	if b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after the second cooloff")
+	}
+	b.Success()
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatalf("successful probe did not close the breaker (state %q)", b.State())
+	}
+}

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,19 @@ const (
 	ModeError
 	// ModeSlow sleeps for the rule's duration, then lets the site proceed.
 	ModeSlow
+	// ModeHang sleeps far past any reasonable client timeout (default 60s,
+	// tunable as hang:DUR), modeling a replica that accepts work and never
+	// answers — the cluster fault that only per-attempt timeouts catch.
+	ModeHang
+	// ModeFlaky returns an *InjectedError on every nth firing (flaky:N,
+	// default every 2nd), deterministically: the flaky-5xx replica that
+	// works often enough to stay in rotation but trips circuit breakers.
+	ModeFlaky
+	// ModeKill terminates the whole process with os.Exit (kill, or
+	// kill:CODE; default exit code 137 echoing SIGKILL). It models a
+	// replica dying mid-run; only arm it in a process you own, never
+	// in-process in a test binary.
+	ModeKill
 )
 
 func (m Mode) String() string {
@@ -33,6 +47,12 @@ func (m Mode) String() string {
 		return "error"
 	case ModeSlow:
 		return "slow"
+	case ModeHang:
+		return "hang"
+	case ModeFlaky:
+		return "flaky"
+	case ModeKill:
+		return "kill"
 	}
 	return "unknown"
 }
@@ -52,6 +72,14 @@ type rule struct {
 	site, key string
 	mode      Mode
 	sleep     time.Duration
+	// every is ModeFlaky's period: the rule errors on firings where
+	// hits%every == 0 (1-indexed), so flaky:1 always fails.
+	every int
+	// exitCode is ModeKill's os.Exit status.
+	exitCode int
+	// hits counts firings of this rule (guarded by mu), driving ModeFlaky
+	// deterministically.
+	hits int
 }
 
 var (
@@ -106,6 +134,36 @@ func parseSpec(spec string) ([]rule, error) {
 				}
 				r.sleep = d
 			}
+		case strings.HasPrefix(modeText, "hang"):
+			r.mode = ModeHang
+			r.sleep = 60 * time.Second
+			if rest, ok := strings.CutPrefix(modeText, "hang:"); ok {
+				d, err := time.ParseDuration(rest)
+				if err != nil {
+					return nil, fmt.Errorf("rule %q: bad duration: %v", entry, err)
+				}
+				r.sleep = d
+			}
+		case strings.HasPrefix(modeText, "flaky"):
+			r.mode = ModeFlaky
+			r.every = 2
+			if rest, ok := strings.CutPrefix(modeText, "flaky:"); ok {
+				n, err := strconv.Atoi(rest)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("rule %q: bad flaky period %q (want a positive integer)", entry, rest)
+				}
+				r.every = n
+			}
+		case strings.HasPrefix(modeText, "kill"):
+			r.mode = ModeKill
+			r.exitCode = 137
+			if rest, ok := strings.CutPrefix(modeText, "kill:"); ok {
+				code, err := strconv.Atoi(rest)
+				if err != nil || code < 0 || code > 255 {
+					return nil, fmt.Errorf("rule %q: bad exit code %q", entry, rest)
+				}
+				r.exitCode = code
+			}
 		default:
 			return nil, fmt.Errorf("rule %q: unknown mode %q", entry, modeText)
 		}
@@ -153,33 +211,51 @@ func Fired(site, key string) int {
 
 // Fire is the injection point the pipeline calls. With no rules armed it
 // is a single atomic load. With a matching rule it panics, returns an
-// *InjectedError, or sleeps, per the rule's mode.
+// *InjectedError, sleeps, fails every nth call, or exits the process, per
+// the rule's mode.
 func Fire(site, key string) error {
 	if armed.Load() == 0 {
 		return nil
 	}
 	mu.Lock()
-	var hit *rule
+	// Snapshot the rule's action under the lock: Enable may append to (and
+	// reallocate) the rules slice concurrently, and ModeFlaky's hit counter
+	// must advance atomically with the match.
+	var (
+		matched   bool
+		mode      Mode
+		sleep     time.Duration
+		exitCode  int
+		flakyFail bool
+	)
 	for i := range rules {
 		if rules[i].site == site && (rules[i].key == key || rules[i].key == "*") {
-			hit = &rules[i]
+			matched = true
+			fired[site+":"+key]++
+			rules[i].hits++
+			mode, sleep, exitCode = rules[i].mode, rules[i].sleep, rules[i].exitCode
+			flakyFail = mode == ModeFlaky && rules[i].hits%rules[i].every == 0
 			break
 		}
 	}
-	if hit != nil {
-		fired[site+":"+key]++
-	}
 	mu.Unlock()
-	if hit == nil {
+	if !matched {
 		return nil
 	}
-	switch hit.mode {
+	switch mode {
 	case ModePanic:
 		panic(fmt.Sprintf("faultinject: injected panic at %s:%s", site, key))
 	case ModeError:
 		return &InjectedError{Site: site, Key: key}
-	case ModeSlow:
-		time.Sleep(hit.sleep)
+	case ModeSlow, ModeHang:
+		time.Sleep(sleep)
+	case ModeFlaky:
+		if flakyFail {
+			return &InjectedError{Site: site, Key: key}
+		}
+	case ModeKill:
+		fmt.Fprintf(os.Stderr, "faultinject: injected kill at %s:%s (exit %d)\n", site, key, exitCode)
+		os.Exit(exitCode)
 	}
 	return nil
 }

@@ -97,10 +97,78 @@ func TestRestoreRemovesOnlyItsRules(t *testing.T) {
 }
 
 func TestBadSpecs(t *testing.T) {
-	for _, spec := range []string{"explore", "explore=panic", "a:b=frobnicate", "a:b=slow:xyz"} {
+	for _, spec := range []string{
+		"explore", "explore=panic", "a:b=frobnicate", "a:b=slow:xyz",
+		"a:b=hang:xyz", "a:b=flaky:0", "a:b=flaky:x", "a:b=kill:-1", "a:b=kill:9000",
+	} {
 		if _, err := Enable(spec); err == nil {
 			t.Errorf("Enable(%q) accepted a malformed spec", spec)
 			Reset()
 		}
 	}
+}
+
+// hang is slow with a default long enough to outlast any per-attempt
+// timeout; the parser must accept an explicit short duration for tests.
+func TestHangMode(t *testing.T) {
+	Reset()
+	restore, err := Enable("replica:r2=hang:30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	t0 := time.Now()
+	if err := Fire("replica", "r2"); err != nil {
+		t.Fatalf("hang mode returned %v", err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("hang injection returned after %v, want >= 30ms", d)
+	}
+}
+
+// flaky:N fails exactly every Nth firing, deterministically, so a
+// robustness run is reproducible.
+func TestFlakyModeIsDeterministicEveryNth(t *testing.T) {
+	Reset()
+	restore, err := Enable("replica:r3=flaky:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, Fire("replica", "r3") != nil)
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("flaky pattern = %v, want %v", pattern, want)
+		}
+	}
+	err = Fire("replica", "r3")
+	_ = err
+	var inj *InjectedError
+	restore2, _ := Enable("replica:always=flaky:1")
+	defer restore2()
+	if err := Fire("replica", "always"); !errors.As(err, &inj) {
+		t.Fatalf("flaky:1 returned %v, want *InjectedError on every call", err)
+	}
+}
+
+// The kill spec must parse (CI arms it on real replica processes); firing
+// it in-process would end the test binary, so only parsing is checked.
+func TestKillSpecParses(t *testing.T) {
+	Reset()
+	restore, err := Enable("replica:r2=kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore()
+	restore, err = Enable("replica:r2=kill:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore()
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cosim"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/hdl"
 	"repro/internal/hwlib"
@@ -116,6 +117,11 @@ func requestFromQuery(q url.Values) (Request, error) {
 // prefix.
 func (s *Server) handleHDL(w http.ResponseWriter, r *http.Request) {
 	s.tel.Add("server.hdl.requests", 1)
+	if err := faultinject.Fire("replica", s.cfg.Name); err != nil {
+		s.tel.Add("server.faults", 1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	var req Request
 	switch r.Method {
 	case http.MethodGet:
@@ -139,13 +145,13 @@ func (s *Server) handleHDL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "want GET or POST")
 		return
 	}
-	req = req.normalized(s.cfg.DefaultDeadline)
-	p, status, err := s.resolveProgram(req)
+	req = req.Normalized(s.cfg.DefaultDeadline)
+	p, status, err := Resolve(req)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
-	if _, err := req.toConfig(); err != nil {
+	if _, err := req.ToConfig(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -176,7 +182,7 @@ func (s *Server) runHDL(req Request, p *ir.Program, key string) (status int, bod
 	if s.tokens.Acquire(ctx) {
 		defer s.tokens.Release()
 	}
-	cfg, err := req.toConfig()
+	cfg, err := req.ToConfig()
 	if err != nil {
 		return marshalError(http.StatusBadRequest, err)
 	}

@@ -54,12 +54,12 @@ type Request struct {
 	MaxCandidates int `json:"max_candidates,omitempty"`
 }
 
-// normalized returns the request with every defaulted field made explicit,
+// Normalized returns the request with every defaulted field made explicit,
 // so semantically identical requests share one cache key. defaultDeadline is
 // the server's default pipeline deadline: a zero DeadlineMS resolves against
 // it here, before cacheKey hashes the request, so "deadline_ms": 0 and the
 // explicitly spelled server default coalesce and share one cache entry.
-func (r Request) normalized(defaultDeadline time.Duration) Request {
+func (r Request) Normalized(defaultDeadline time.Duration) Request {
 	if r.Budget == 0 {
 		r.Budget = 15
 	}
@@ -98,10 +98,10 @@ func (r Request) selectMode() (cfu.SelectMode, error) {
 	return 0, fmt.Errorf("unknown select_mode %q (want greedy, value, or dp)", r.SelectMode)
 }
 
-// toConfig translates a normalized request into the pipeline configuration.
+// ToConfig translates a normalized request into the pipeline configuration.
 // The caller supplies the execution-environment fields (Ctx, Workers,
 // Spare, Telemetry) — they are deliberately not part of the cache identity.
-func (r Request) toConfig() (core.Config, error) {
+func (r Request) ToConfig() (core.Config, error) {
 	mode, err := r.selectMode()
 	if err != nil {
 		return core.Config{}, err

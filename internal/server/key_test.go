@@ -43,7 +43,7 @@ func buildHashKernel(reordered bool) *ir.Program {
 // different orders (and with different op IDs) must share one cache key —
 // that is what makes resubmission after cosmetic edits a cache hit.
 func TestCacheKeyCanonicalizesNodeOrder(t *testing.T) {
-	req := Request{Budget: 10}.normalized(testDeadline)
+	req := Request{Budget: 10}.Normalized(testDeadline)
 	a, c := buildHashKernel(false), buildHashKernel(true)
 	if a.String() == c.String() {
 		t.Fatal("test is vacuous: programs have identical text")
@@ -54,7 +54,7 @@ func TestCacheKeyCanonicalizesNodeOrder(t *testing.T) {
 }
 
 func TestCacheKeySensitiveToProgram(t *testing.T) {
-	req := Request{}.normalized(testDeadline)
+	req := Request{}.Normalized(testDeadline)
 	base := req.cacheKey("customize", buildHashKernel(false))
 	p := buildHashKernel(false)
 	p.Blocks[0].Weight = 4999
@@ -99,7 +99,7 @@ func mutate(field reflect.Value) bool {
 // fails here instead of silently poisoning the cache.
 func TestCacheKeySensitiveToEveryRequestField(t *testing.T) {
 	p := buildHashKernel(false)
-	base := Request{}.normalized(testDeadline)
+	base := Request{}.Normalized(testDeadline)
 	baseKey := base.cacheKey("customize", p)
 	seen := map[string]string{}
 	rt := reflect.TypeOf(Request{})
@@ -128,10 +128,10 @@ func TestCacheKeySensitiveToEveryRequestField(t *testing.T) {
 // field with a default added to normalized() is covered automatically.
 func TestCacheKeyNormalizesDefaults(t *testing.T) {
 	p := buildHashKernel(false)
-	norm := Request{}.normalized(testDeadline)
+	norm := Request{}.Normalized(testDeadline)
 	implicit := norm.cacheKey("customize", p)
 	// Normalizing must be idempotent...
-	if again := norm.normalized(testDeadline); again != norm {
+	if again := norm.Normalized(testDeadline); again != norm {
 		t.Errorf("normalized() is not idempotent: %+v != %+v", again, norm)
 	}
 	// ...and every individually spelled-out default must collide with zero.
@@ -143,7 +143,7 @@ func TestCacheKeyNormalizesDefaults(t *testing.T) {
 		}
 		var r Request
 		reflect.ValueOf(&r).Elem().Field(i).Set(reflect.ValueOf(norm).Field(i))
-		if key := r.normalized(testDeadline).cacheKey("customize", p); key != implicit {
+		if key := r.Normalized(testDeadline).cacheKey("customize", p); key != implicit {
 			t.Errorf("spelling out the default %s changed the cache key", name)
 		}
 	}
@@ -156,16 +156,16 @@ func TestCacheKeyNormalizesDefaults(t *testing.T) {
 // server default before cacheKey hashes it.
 func TestCacheKeyNormalizesDeadline(t *testing.T) {
 	p := buildHashKernel(false)
-	implicit := Request{}.normalized(testDeadline).cacheKey("customize", p)
+	implicit := Request{}.Normalized(testDeadline).cacheKey("customize", p)
 	spelled := Request{DeadlineMS: int(testDeadline / time.Millisecond)}
-	explicit := spelled.normalized(testDeadline).cacheKey("customize", p)
+	explicit := spelled.Normalized(testDeadline).cacheKey("customize", p)
 	if implicit != explicit {
 		t.Error("deadline_ms 0 and the spelled-out server default produced different cache keys")
 	}
 	// A genuinely different deadline is different work (truncation point
 	// differs) and must not collide with the default.
 	other := Request{DeadlineMS: int(testDeadline/time.Millisecond) + 1000}
-	if other.normalized(testDeadline).cacheKey("customize", p) == implicit {
+	if other.Normalized(testDeadline).cacheKey("customize", p) == implicit {
 		t.Error("a non-default deadline_ms collided with the default's cache key")
 	}
 }
@@ -178,7 +178,7 @@ func TestCacheKeySeparatesStrategies(t *testing.T) {
 	keys := map[string]string{}
 	for _, strat := range []string{"", "enumerate", "improve"} {
 		for _, cost := range []string{"", "area", "uarch"} {
-			r := Request{Strategy: strat, CostModel: cost}.normalized(testDeadline)
+			r := Request{Strategy: strat, CostModel: cost}.Normalized(testDeadline)
 			keys[fmt.Sprintf("%s/%s", strat, cost)] = r.cacheKey("customize", p)
 		}
 	}

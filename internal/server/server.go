@@ -7,7 +7,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +32,11 @@ const maxRequestBytes = 16 << 20
 // Config parameterizes a Server. The zero value serves with one pipeline
 // token per CPU, a 256-entry cache, and no default deadline.
 type Config struct {
+	// Name is the replica's identity ("" = "iscd"): it appears in /healthz,
+	// keys the "replica" fault-injection site, and lets a cluster router
+	// tell replicas apart when several run in one process (tests) or one
+	// host (CI smoke).
+	Name string
 	// MaxConcurrent is the pipeline token budget: the number of goroutines
 	// that may be running customization work at once, shared between
 	// admitted requests and their block-exploration workers (0 = one per
@@ -43,6 +48,11 @@ type Config struct {
 	// does not set deadline_ms (0 = unbounded). Expiry yields a truncated
 	// best-so-far response, not an error.
 	DefaultDeadline time.Duration
+	// DrainRetryAfter is the Retry-After hint (rounded up to whole seconds)
+	// on the 503s a draining server sheds (0 = 1s). The header is how a
+	// cluster router distinguishes graceful drain from death: drained
+	// requests re-route without tripping the replica's circuit breaker.
+	DrainRetryAfter time.Duration
 	// Telemetry receives the server's counters, gauges and spans (nil = a
 	// fresh registry, which /metrics renders either way).
 	Telemetry *telemetry.Registry
@@ -76,11 +86,17 @@ type call struct {
 
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "iscd"
+	}
 	if cfg.MaxConcurrent < 1 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
 	if cfg.CacheEntries < 1 {
 		cfg.CacheEntries = 256
+	}
+	if cfg.DrainRetryAfter <= 0 {
+		cfg.DrainRetryAfter = time.Second
 	}
 	tel := cfg.Telemetry
 	if tel == nil {
@@ -192,7 +208,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, http.StatusOK, map[string]string{"replica": s.cfg.Name, "status": status})
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
@@ -215,45 +231,39 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics renders the telemetry registry as a flat, sorted,
 // Prometheus-style text page: one `iscd_<name> <value>` line per counter
-// and gauge (dots become underscores), plus per-span count/wall/cpu lines
-// and the cache occupancy.
+// and gauge (dots become underscores), plus per-span count/wall/cpu lines,
+// the cache occupancy, and the draining gauge a cluster router watches to
+// tell graceful drain from death. The canonical resilience counters
+// (telemetry.ResilienceCounters) are always present, zero or not, so their
+// names stay joinable with the isccluster metrics page.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.tel.Snapshot()
 	var sb strings.Builder
 	sb.WriteString("iscd_up 1\n")
 	fmt.Fprintf(&sb, "iscd_cache_entries %d\n", s.cache.len())
-	names := make([]string, 0, len(snap.Counters))
-	for name := range snap.Counters {
-		names = append(names, name)
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(&sb, "iscd_%s %d\n", metricName(name), snap.Counters[name])
-	}
-	names = names[:0]
-	for name := range snap.Gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(&sb, "iscd_%s %g\n", metricName(name), snap.Gauges[name])
-	}
-	for _, sp := range snap.Spans {
-		fmt.Fprintf(&sb, "iscd_span_%s_count %d\n", metricName(sp.Name), sp.Count)
-		fmt.Fprintf(&sb, "iscd_span_%s_wall_ns %d\n", metricName(sp.Name), sp.WallNS)
-		fmt.Fprintf(&sb, "iscd_span_%s_cpu_ns %d\n", metricName(sp.Name), sp.CPUNS)
-	}
+	fmt.Fprintf(&sb, "iscd_draining %d\n", draining)
+	snap.WritePrometheus(&sb, "iscd")
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, sb.String())
 }
 
-func metricName(name string) string {
-	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+// retryAfterSeconds rounds a drain hint up to the whole seconds the
+// Retry-After header speaks, never below 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	return max(secs, 1)
 }
 
-// resolveProgram turns the request's benchmark name or iscasm text into a
-// validated program, with the HTTP status to use on failure.
-func (s *Server) resolveProgram(req Request) (*ir.Program, int, error) {
+// Resolve turns a request's benchmark name or iscasm text into a validated
+// program, with the HTTP status to use on failure. The cluster router uses
+// it to fingerprint requests for consistent-hash routing with exactly the
+// replica's semantics, so router and replica can never disagree about
+// which program a request names.
+func Resolve(req Request) (*ir.Program, int, error) {
 	var p *ir.Program
 	switch {
 	case req.Benchmark != "" && req.Program != "":
@@ -291,6 +301,14 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.tel.Add("server.requests", 1)
+	// The replica-level fault site models a sick *process*, not a sick
+	// pipeline: it sits before the cache so hang/flaky/kill faults hit
+	// every request the replica handles, the way real replica failures do.
+	if err := faultinject.Fire("replica", s.cfg.Name); err != nil {
+		s.tel.Add("server.faults", 1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -301,13 +319,13 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request JSON: %v", err)
 		return
 	}
-	req = req.normalized(s.cfg.DefaultDeadline)
-	p, status, err := s.resolveProgram(req)
+	req = req.Normalized(s.cfg.DefaultDeadline)
+	p, status, err := Resolve(req)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
-	if _, err := req.toConfig(); err != nil {
+	if _, err := req.ToConfig(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -347,6 +365,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	}
 	if s.draining.Load() {
 		s.mu.Unlock()
+		// Retry-After marks this 503 as graceful drain, not death: a
+		// cluster router re-routes to another replica without tripping the
+		// circuit breaker, and counts the refusal as load shed.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.DrainRetryAfter)))
+		s.tel.Add(telemetry.CounterShed, 1)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -410,7 +433,7 @@ func (s *Server) run(req Request, p *ir.Program, key string) (status int, body [
 		defer s.tokens.Release()
 	}
 
-	cfg, err := req.toConfig()
+	cfg, err := req.ToConfig()
 	if err != nil {
 		return marshalError(http.StatusBadRequest, err)
 	}

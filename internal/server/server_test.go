@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -252,10 +253,29 @@ func TestShutdownDrainsInflightRuns(t *testing.T) {
 		t.Fatal("in-flight request never completed")
 	}
 
-	// New work is refused while drained; health reports draining.
+	// New work is refused while drained, with Retry-After marking the 503
+	// as graceful drain (a cluster router re-routes it without a breaker
+	// strike); health reports draining.
 	resp, body := postCustomize(t, ts.URL, `{"benchmark":"sha","budget":5}`)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("post-drain request: status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("drain 503 is missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("drain Retry-After = %q, want whole seconds >= 1", ra)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), "iscd_draining 1") {
+		t.Error("metrics during drain are missing iscd_draining 1")
+	}
+	if !strings.Contains(string(mb), "iscd_resilience_shed") {
+		t.Error("metrics are missing the resilience shed counter")
 	}
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
