@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -41,6 +42,8 @@ func main() {
 	drainTimeout := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight requests before giving up")
 	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file on shutdown; a per-stage summary goes to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	corpusDir := flag.String("corpus", "", "directory for the disk-backed exploration corpus; memoized per-block results persist across restarts (\"\" = no corpus)")
+	corpusEntries := flag.Int("corpus-entries", 0, "in-memory corpus LRU capacity in block entries (0 = 4096); the disk tier keeps everything")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -50,12 +53,26 @@ func main() {
 		log.Printf("pprof listening on %s", *pprofAddr)
 	}
 	tel := telemetry.New("iscd")
+	// -corpus-entries alone still enables a memory-only corpus: useful for
+	// a single long-lived replica that wants warm-start without a disk tier.
+	var store *corpus.Corpus
+	if *corpusDir != "" || *corpusEntries > 0 {
+		c, err := corpus.Open(*corpusDir, *corpusEntries)
+		if err != nil {
+			log.Fatalf("corpus: %v", err)
+		}
+		store = c
+		s := c.Stats()
+		log.Printf("corpus: %d entries loaded (%d segments, %d bytes) from %q",
+			s.Entries, s.Segments, s.DiskBytes, *corpusDir)
+	}
 	srv := server.New(server.Config{
 		Name:            *name,
 		MaxConcurrent:   *jobs,
 		CacheEntries:    *cacheEntries,
 		DefaultDeadline: *deadline,
 		Telemetry:       tel,
+		Corpus:          store,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -82,6 +99,11 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("corpus close: %v", err)
+		}
 	}
 
 	if *trace != "" {

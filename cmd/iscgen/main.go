@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cfu"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/explore"
 	"repro/internal/hdl"
 	"repro/internal/hwlib"
@@ -44,6 +45,8 @@ func main() {
 	verilog := flag.String("verilog", "", "also emit the selected CFUs as Verilog to this path")
 	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	corpusDir := flag.String("corpus", "", "disk-backed exploration corpus directory: per-block results are replayed from and persisted to it across runs, with byte-identical output (\"\" = off)")
+	corpusEntries := flag.Int("corpus-entries", 0, "in-memory corpus LRU capacity in block entries (0 = 4096)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -89,6 +92,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var store *corpus.Corpus
+	if *corpusDir != "" || *corpusEntries > 0 {
+		store, err = corpus.Open(*corpusDir, *corpusEntries)
+		if err != nil {
+			log.Fatalf("corpus: %v", err)
+		}
+		cfg.Corpus = store
+	}
 	switch *mode {
 	case "greedy":
 		cfg.SelectMode = cfu.GreedyRatio
@@ -103,6 +114,16 @@ func main() {
 	m, err := core.GenerateMDES(b.Program, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Corpus accounting goes to stderr: stdout must stay byte-identical
+	// between cold and warm runs.
+	if store != nil {
+		s := store.Stats()
+		fmt.Fprintf(os.Stderr, "corpus: %d hits, %d misses, %d entries (%d disk segments, %d bytes)\n",
+			s.Hits, s.Misses, s.Entries, s.Segments, s.DiskBytes)
+		if err := store.Close(); err != nil {
+			log.Fatalf("corpus close: %v", err)
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "%s (%s): %d CFUs, %.2f adders of %.0f budget\n",

@@ -17,6 +17,14 @@
 // -fail-errors CLASS exits nonzero when that class saw any 5xx or
 // transport error — the CI hook for "gold never fails while replicas
 // die".
+//
+// -repeat N (with -budget-step F) is the warm-vs-cold A/B mode: the same
+// spec set runs N times in sequence against the same service, each pass
+// offsetting every request's area budget by F so warm passes dodge the
+// result cache (budget is in its key) while replaying the service's
+// exploration corpus (budget is not in the corpus key). The report then
+// holds one entry per pass — with per-class corpus hit/miss counters from
+// the X-Iscd-Corpus header — plus the cold/warm latency speedup.
 package main
 
 import (
@@ -57,6 +65,8 @@ func main() {
 	label := flag.String("label", "", "tag the report (e.g. healthy, degraded)")
 	timeout := flag.Duration("timeout", 0, "per-request round-trip bound (0 = 120s)")
 	failErrors := flag.String("fail-errors", "", "exit 1 if this SLO class (gold/silver/bronze) saw any error")
+	repeat := flag.Int("repeat", 1, "warm-vs-cold A/B mode: run the spec set this many times in sequence (>= 2) and report per-pass corpus-hit counters plus the cold/warm speedup")
+	budgetStep := flag.Float64("budget-step", 1, "per-pass area-budget offset in -repeat mode: dodges the service's result cache (budget is in its key) while replaying the corpus (budget is not)")
 	flag.Parse()
 
 	if len(specs) == 0 {
@@ -68,15 +78,34 @@ func main() {
 
 	runner := &loadgen.Runner{Target: *url, Specs: specs, Seed: *seed, Timeout: *timeout}
 	start := time.Now()
-	report, err := runner.Run(ctx)
-	if err != nil {
-		log.Fatal(err)
+
+	var artifact any
+	var reports []*loadgen.Report
+	if *repeat > 1 {
+		ab, err := runner.RunAB(ctx, *repeat, *budgetStep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range ab.Passes {
+			if *label != "" {
+				p.Label = *label + "/" + p.Label
+			}
+			writeSummary(p, time.Since(start))
+		}
+		fmt.Fprintf(os.Stderr, "iscload: cold/warm speedup: mean %.2fx, p50 %.2fx (budget step %g)\n",
+			ab.MeanSpeedup, ab.P50Speedup, ab.BudgetStep)
+		artifact, reports = ab, ab.Passes
+	} else {
+		report, err := runner.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Label = *label
+		writeSummary(report, time.Since(start))
+		artifact, reports = report, []*loadgen.Report{report}
 	}
-	report.Label = *label
 
-	writeSummary(report, time.Since(start))
-
-	enc, err := json.MarshalIndent(report, "", "  ")
+	enc, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,9 +119,11 @@ func main() {
 	}
 
 	if *failErrors != "" {
-		for _, c := range report.Classes {
-			if c.Class == *failErrors && c.Errors > 0 {
-				log.Fatalf("class %s saw %d errors", c.Class, c.Errors)
+		for _, report := range reports {
+			for _, c := range report.Classes {
+				if c.Class == *failErrors && c.Errors > 0 {
+					log.Fatalf("class %s saw %d errors (pass %q)", c.Class, c.Errors, report.Label)
+				}
 			}
 		}
 	}
@@ -101,11 +132,11 @@ func main() {
 func writeSummary(r *loadgen.Report, wall time.Duration) {
 	fmt.Fprintf(os.Stderr, "iscload: %d requests to %s in %.1fs\n", r.Sent, r.Target, wall.Seconds())
 	rows := append([]loadgen.ClassStats{r.All}, r.Classes...)
-	fmt.Fprintf(os.Stderr, "%-8s %6s %6s %6s %6s %6s %6s %6s %8s %8s %8s\n",
-		"class", "count", "ok", "err", "shed", "trunc", "cache", "fail", "p50ms", "p99ms", "p999ms")
+	fmt.Fprintf(os.Stderr, "%-8s %6s %6s %6s %6s %6s %6s %6s %7s %7s %8s %8s %8s\n",
+		"class", "count", "ok", "err", "shed", "trunc", "cache", "fail", "corpus+", "corpus-", "p50ms", "p99ms", "p999ms")
 	for _, c := range rows {
-		fmt.Fprintf(os.Stderr, "%-8s %6d %6d %6d %6d %6d %6d %6d %8.1f %8.1f %8.1f\n",
+		fmt.Fprintf(os.Stderr, "%-8s %6d %6d %6d %6d %6d %6d %6d %7d %7d %8.1f %8.1f %8.1f\n",
 			c.Class, c.Count, c.OK, c.Errors, c.Shed, c.Truncated, c.CacheHits, c.Failovers,
-			c.P50MS, c.P99MS, c.P999MS)
+			c.CorpusHits, c.CorpusMisses, c.P50MS, c.P99MS, c.P999MS)
 	}
 }

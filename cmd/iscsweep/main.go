@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/experiment"
 	"repro/internal/explore"
 	"repro/internal/telemetry"
@@ -39,6 +40,8 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel compile jobs (0 = one per CPU, 1 = serial); the report is identical at every setting")
 	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	corpusDir := flag.String("corpus", "", "disk-backed exploration corpus directory: the sweep's repeated explorations of one benchmark at different budgets replay from it, with byte-identical output (\"\" = off)")
+	corpusEntries := flag.Int("corpus-entries", 0, "in-memory corpus LRU capacity in block entries (0 = 4096)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -77,6 +80,17 @@ func main() {
 	h.Strategy = *strategy
 	h.CostModel = *costModel
 	h.Seed = *seed
+	// The sweep is the corpus's best case: every budget point re-explores
+	// the same program, so points 2..N replay point 1's blocks.
+	var store *corpus.Corpus
+	if *corpusDir != "" || *corpusEntries > 0 {
+		c, err := corpus.Open(*corpusDir, *corpusEntries)
+		if err != nil {
+			log.Fatalf("corpus: %v", err)
+		}
+		store = c
+		h.Corpus = store
+	}
 	start := time.Now()
 
 	if *shootout {
@@ -88,6 +102,13 @@ func main() {
 		experiment.RenderShootout(os.Stdout, float64(*maxBudget), rows)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if store != nil {
+			s := store.Stats()
+			log.Printf("corpus: %d hits, %d misses, %d entries", s.Hits, s.Misses, s.Entries)
+			if err := store.Close(); err != nil {
+				log.Printf("corpus close: %v", err)
+			}
 		}
 		log.Printf("shootout wall-clock %v", time.Since(start).Round(time.Millisecond))
 		return
@@ -125,9 +146,18 @@ func main() {
 			reportFailures(crossRes)
 		}
 	}
-	// Timing goes to stderr so stdout stays byte-identical across -j.
+	// Timing and corpus accounting go to stderr so stdout stays
+	// byte-identical across -j and across cold/warm corpus runs.
 	// Aggregate/wall equals the mean number of in-flight jobs; on unloaded
 	// cores that is the parallel speedup over a -j 1 run.
+	if store != nil {
+		s := store.Stats()
+		log.Printf("corpus: %d hits, %d misses, %d entries (%d disk segments, %d bytes)",
+			s.Hits, s.Misses, s.Entries, s.Segments, s.DiskBytes)
+		if err := store.Close(); err != nil {
+			log.Printf("corpus close: %v", err)
+		}
+	}
 	elapsed := time.Since(start)
 	agg := h.AggregateJobTime()
 	log.Printf("wall-clock %v for %v of compile jobs: parallel speedup %.2fx",

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/corpus"
+	"repro/internal/server"
 	"repro/internal/telemetry"
 )
 
@@ -206,6 +208,7 @@ func New(cfg Config) (*Cluster, error) {
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
 	c.mux.HandleFunc("/metrics", c.handleMetrics)
 	c.mux.HandleFunc("/v1/benchmarks", c.handleBenchmarks)
+	c.mux.HandleFunc("/v1/corpus", c.handleCorpus)
 	c.mux.HandleFunc("/v1/customize", c.handleCustomize)
 	return c, nil
 }
@@ -356,6 +359,102 @@ func (c *Cluster) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	c.serveUpstream(w, res)
 }
 
+// corpusReplica is one row of the cluster's GET /v1/corpus reply: which
+// replica, whether it could be reached, and its corpus status verbatim.
+type corpusReplica struct {
+	Name    string        `json:"name"`
+	Error   string        `json:"error,omitempty"`
+	Enabled bool          `json:"enabled"`
+	Stats   *corpus.Stats `json:"stats,omitempty"`
+}
+
+// handleCorpus is GET /v1/corpus: the cluster-wide corpus view. Under the
+// affinity policy the fingerprint ring that routes requests is also the
+// corpus shard map — one program's blocks always land on (and therefore
+// warm) the same replica — so the aggregate totals below describe one
+// logical corpus sharded across the fleet. The endpoint fans out to every
+// replica concurrently and sums entries, hits, misses, inserts, and disk
+// accounting over the replicas that answered; unreachable replicas are
+// reported per-row rather than failing the whole view.
+func (c *Cluster) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		clusterWriteError(w, http.StatusMethodNotAllowed, "want GET")
+		return
+	}
+	rows := make([]corpusReplica, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range c.replicas {
+		wg.Add(1)
+		go func(i int, rep *Replica) {
+			defer wg.Done()
+			rows[i] = c.fetchCorpus(r.Context(), rep)
+		}(i, rep)
+	}
+	wg.Wait()
+
+	total := corpus.Stats{}
+	enabled := 0
+	for i := range rows {
+		st := rows[i].Stats
+		if st == nil {
+			continue
+		}
+		enabled++
+		total.Entries += st.Entries
+		total.MaxEntries += st.MaxEntries
+		total.ShapeClasses += st.ShapeClasses
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Inserts += st.Inserts
+		total.Evictions += st.Evictions
+		total.AppendErrors += st.AppendErrors
+		total.Segments += st.Segments
+		total.DiskBytes += st.DiskBytes
+	}
+	clusterWriteJSON(w, http.StatusOK, map[string]any{
+		"policy":   c.policy.Name(),
+		"enabled":  enabled,
+		"replicas": rows,
+		"total":    total,
+	})
+}
+
+// fetchCorpus asks one replica for its corpus status, bounded by the
+// health-check timeout (stats are a lock-and-copy, never pipeline work).
+func (c *Cluster) fetchCorpus(ctx context.Context, rep *Replica) corpusReplica {
+	row := corpusReplica{Name: rep.Name}
+	ctx, cancel := context.WithTimeout(ctx, max(c.cfg.HealthTimeout, time.Second))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.URL+"/v1/corpus", nil)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	if resp.StatusCode != http.StatusOK {
+		row.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		return row
+	}
+	var status server.CorpusStatus
+	if err := json.Unmarshal(body, &status); err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	row.Enabled = status.Enabled
+	row.Stats = status.Stats
+	return row
+}
+
 // effectiveDeadline maps (request, class, admission decision) onto the
 // pipeline deadline forwarded to the replica: the request's own
 // deadline_ms if set, else the class default; shrunk by DegradeFactor
@@ -473,6 +572,9 @@ func (c *Cluster) serveUpstream(w http.ResponseWriter, res upstream) {
 	}
 	if cacheHdr := res.header.Get("X-Iscd-Cache"); cacheHdr != "" {
 		w.Header().Set("X-Iscd-Cache", cacheHdr)
+	}
+	if corpusHdr := res.header.Get("X-Iscd-Corpus"); corpusHdr != "" {
+		w.Header().Set("X-Iscd-Corpus", corpusHdr)
 	}
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)

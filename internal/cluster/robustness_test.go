@@ -13,6 +13,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/workloads"
 )
 
 // The robustness contract: while replicas fail (always-500 and slowed),
@@ -95,9 +96,12 @@ func TestRobustnessFaultedFleetStaysByteIdentical(t *testing.T) {
 	// whose affinity primary is r2, so closed-breaker routing goes back to
 	// it.
 	restore()
+	// The routing key is the program's content fingerprint, so the search
+	// must vary the program (budget and the other knobs never reach the
+	// key): some benchmark's fingerprint lands each of the three replicas.
 	var r2Body string
-	for budget := 5; budget < 50; budget++ {
-		body := fmt.Sprintf(`{"benchmark":"blowfish","budget":%d,"slo":"silver","deadline_ms":30000}`, budget)
+	for _, name := range workloads.Names() {
+		body := fmt.Sprintf(`{"benchmark":%q,"budget":8,"slo":"silver","deadline_ms":30000}`, name)
 		preq, _, err := ParseRequest([]byte(body), 0)
 		if err != nil {
 			t.Fatal(err)
@@ -108,7 +112,7 @@ func TestRobustnessFaultedFleetStaysByteIdentical(t *testing.T) {
 		}
 	}
 	if r2Body == "" {
-		t.Fatal("no blowfish budget maps its key to r2 — widen the search")
+		t.Fatal("no benchmark maps its key to r2 — widen the search")
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	recovered := false

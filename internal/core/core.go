@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cfu"
 	"repro/internal/compile"
+	"repro/internal/corpus"
 	"repro/internal/explore"
 	"repro/internal/hwlib"
 	"repro/internal/ir"
@@ -59,6 +60,15 @@ type Config struct {
 	Verify bool
 	// Fanout overrides the exploration fanout policy (nil = default).
 	Fanout explore.FanoutPolicy
+	// FanoutDesc names a Fanout override for corpus keying (see
+	// explore.Config.FanoutDesc). Ignored when Fanout is nil; leaving it
+	// empty alongside a custom Fanout bypasses the corpus for safety.
+	FanoutDesc string
+	// Corpus, when non-nil, memoizes per-block exploration results across
+	// runs: repeated and overlapping workloads replay memoized candidates
+	// instead of re-searching, with selected results byte-identical to a
+	// cold run. Bypassed automatically when MaxCandidates is set.
+	Corpus *corpus.Corpus
 	// Telemetry, when non-nil, receives per-stage spans and counters from
 	// every stage of the flow (explore, combine, select, compile, sim).
 	Telemetry *telemetry.Registry
@@ -112,6 +122,12 @@ type Result struct {
 	Program *ir.Program
 	// Report carries the cycle accounting and speedup.
 	Report *compile.Report
+	// CorpusHits and CorpusMisses count the blocks exploration replayed
+	// from (respectively searched into) cfg.Corpus. Both zero when no
+	// corpus was attached. They describe how the result was produced, not
+	// what it is — byte-identical results can carry different counts.
+	CorpusHits   int
+	CorpusMisses int
 }
 
 // Customize runs the complete flow of the paper on one application:
@@ -123,7 +139,7 @@ func Customize(p *ir.Program, cfg Config) (*Result, error) {
 	if err := ir.Validate(p); err != nil {
 		return nil, fmt.Errorf("core: input program: %w", err)
 	}
-	m, cands, err := generate(p, cfg)
+	m, cands, estats, err := generate(p, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +147,10 @@ func Customize(p *ir.Program, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{MDES: m, Candidates: cands, Program: out, Report: rep}, nil
+	return &Result{
+		MDES: m, Candidates: cands, Program: out, Report: rep,
+		CorpusHits: estats.CorpusHits, CorpusMisses: estats.CorpusMisses,
+	}, nil
 }
 
 // GenerateMDES runs only the hardware compiler: profiled application in,
@@ -141,16 +160,16 @@ func GenerateMDES(p *ir.Program, cfg Config) (*mdes.MDES, error) {
 	if err := ir.Validate(p); err != nil {
 		return nil, fmt.Errorf("core: input program: %w", err)
 	}
-	m, _, err := generate(p, cfg)
+	m, _, _, err := generate(p, cfg)
 	return m, err
 }
 
-func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
+func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, explore.Stats, error) {
 	if err := explore.ValidStrategy(cfg.Strategy); err != nil {
-		return nil, nil, fmt.Errorf("core: %w", err)
+		return nil, nil, explore.Stats{}, fmt.Errorf("core: %w", err)
 	}
 	if err := explore.ValidCostModel(cfg.CostModel); err != nil {
-		return nil, nil, fmt.Errorf("core: %w", err)
+		return nil, nil, explore.Stats{}, fmt.Errorf("core: %w", err)
 	}
 	ecfg := explore.DefaultConfig(cfg.Lib)
 	ecfg.Strategy = cfg.Strategy
@@ -166,7 +185,9 @@ func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
 	}
 	if cfg.Fanout != nil {
 		ecfg.Fanout = cfg.Fanout
+		ecfg.FanoutDesc = cfg.FanoutDesc
 	}
+	ecfg.Corpus = cfg.Corpus
 	ecfg.Workers = cfg.Workers
 	ecfg.Spare = cfg.Spare
 	res := explore.Explore(p, ecfg)
@@ -183,7 +204,7 @@ func generate(p *ir.Program, cfg Config) (*mdes.MDES, []*cfu.CFU, error) {
 	})
 	m := mdes.FromSelection(p.Name, cfg.Budget, sel)
 	m.Truncated = m.Truncated || res.Stats.Truncated || ctrunc
-	return m, cands, nil
+	return m, cands, res.Stats, nil
 }
 
 // CompileWith runs only the software compiler: application plus MDES in,

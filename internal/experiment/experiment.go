@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cfu"
 	"repro/internal/compile"
+	"repro/internal/corpus"
 	"repro/internal/explore"
 	"repro/internal/faultinject"
 	"repro/internal/hwlib"
@@ -79,6 +80,11 @@ type Harness struct {
 	// MaxCandidates caps the candidates exploration records per benchmark
 	// (0 = unlimited); hitting the cap tags the results Truncated.
 	MaxCandidates int
+	// Corpus, when non-nil, memoizes per-block exploration results across
+	// harness runs and processes (see internal/corpus); warm runs select
+	// byte-identical results to cold ones. Like every configuration field,
+	// set it before the first run.
+	Corpus *corpus.Corpus
 
 	mu       sync.Mutex
 	benches  map[string]*memoCell[*workloads.Benchmark]
@@ -166,6 +172,9 @@ func (h *Harness) candidatesFull(name string) (candSet, error) {
 		}
 		if h.MaxCandidates > 0 {
 			cfg.MaxCandidates = h.MaxCandidates
+		}
+		if h.Corpus != nil {
+			cfg.Corpus = h.Corpus
 		}
 		h.exploreParallel(&cfg)
 		res := explore.Explore(b.Program, cfg)

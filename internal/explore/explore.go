@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/hwlib"
 	"repro/internal/ir"
 	"repro/internal/telemetry"
@@ -41,6 +42,7 @@ func DefaultConfig(lib *hwlib.Library) Config {
 		Constraints: DefaultConstraints(),
 		Lib:         lib,
 		Fanout:      UniformFanout(4),
+		FanoutDesc:  "uniform:4",
 	}
 }
 
@@ -109,6 +111,20 @@ type Config struct {
 	Weights GuideWeights
 	// Fanout bounds growth directions (nil = unlimited).
 	Fanout FanoutPolicy
+	// FanoutDesc names the Fanout policy for corpus keying (e.g.
+	// "uniform:4"); policies are funcs and cannot be hashed themselves.
+	// Callers installing a custom Fanout must give each distinct policy a
+	// distinct descriptor, or leave it empty to bypass the corpus — an
+	// empty descriptor with a non-nil Fanout disables memoization rather
+	// than risking aliased entries.
+	FanoutDesc string
+	// Corpus, when non-nil, memoizes completed per-block exploration
+	// results keyed by block structure and configuration. Warm hits replay
+	// the memoized candidates byte-identically to a cold search; only
+	// wall-clock time and the examined/pruned effort counters change. It
+	// is bypassed (cold path) under a MaxCandidates budget and for
+	// undescribed custom fanout policies; see corpusUsable.
+	Corpus *corpus.Corpus
 	// OvershootIO lets candidates exceed the port limits by this much
 	// while growing (reconvergence can bring ports back down); such
 	// intermediates are explored but never recorded. Default 2.
@@ -199,6 +215,11 @@ type Stats struct {
 	// TruncatedBy names the exhausted budget: "deadline", "canceled", or
 	// "max-candidates".
 	TruncatedBy string
+	// CorpusHits counts blocks whose candidates were replayed from the
+	// corpus without searching; CorpusMisses counts blocks that ran the
+	// cold path with a corpus attached. Both stay zero when no corpus is
+	// configured or it is bypassed.
+	CorpusHits, CorpusMisses int
 	// PoolHits and PoolMisses count work-item allocations served from the
 	// per-block freelist versus fresh from the heap.
 	PoolHits, PoolMisses int64
@@ -295,14 +316,19 @@ func Explore(p *ir.Program, cfg Config) *Result {
 			nonEmpty++
 		}
 	}
+	useCorpus := cfg.corpusUsable()
+	sig := ""
+	if useCorpus {
+		sig = cfg.corpusConfigSig()
+	}
 	if bud == nil && cfg.Workers > 1 && nonEmpty > 1 {
-		exploreBlocksParallel(strat, p.Blocks, cfg, res)
+		exploreBlocksParallel(strat, p.Blocks, cfg, res, sig, useCorpus)
 	} else {
 		for _, b := range p.Blocks {
 			if bud.exhausted(res) {
 				break
 			}
-			strat.exploreBlock(b, cfg, res, bud)
+			exploreBlockMemo(strat, b, cfg, res, bud, sig, useCorpus)
 		}
 	}
 	// Candidate counts before/after guide pruning: every examined subgraph
@@ -314,6 +340,8 @@ func Explore(p *ir.Program, cfg Config) *Result {
 	cfg.Telemetry.Add("explore.pool.hits", res.Stats.PoolHits)
 	cfg.Telemetry.Add("explore.pool.misses", res.Stats.PoolMisses)
 	cfg.Telemetry.Add("explore.visited.collisions", res.Stats.VisitedCollisions)
+	cfg.Telemetry.Add("explore.corpus.hits", int64(res.Stats.CorpusHits))
+	cfg.Telemetry.Add("explore.corpus.misses", int64(res.Stats.CorpusMisses))
 	if res.Stats.Truncated {
 		cfg.Telemetry.Add("explore.truncated", 1)
 	}
@@ -328,7 +356,7 @@ func Explore(p *ir.Program, cfg Config) *Result {
 // panicking block re-panics here (lowest block index first, matching the
 // serial run) after all workers have drained, for the caller's panic fence
 // to convert.
-func exploreBlocksParallel(strat Strategy, blocks []*ir.Block, cfg Config, res *Result) {
+func exploreBlocksParallel(strat Strategy, blocks []*ir.Block, cfg Config, res *Result, sig string, useCorpus bool) {
 	n := len(blocks)
 	results := make([]*Result, n)
 	panics := make([]any, n)
@@ -348,7 +376,7 @@ func exploreBlocksParallel(strat Strategy, blocks []*ir.Block, cfg Config, res *
 					}
 				}()
 				r := &Result{Stats: Stats{BySize: make(map[int]int)}}
-				strat.exploreBlock(blocks[i], cfg, r, nil)
+				exploreBlockMemo(strat, blocks[i], cfg, r, nil, sig, useCorpus)
 				results[i] = r
 			}()
 		}
@@ -390,6 +418,8 @@ func exploreBlocksParallel(strat Strategy, blocks []*ir.Block, cfg Config, res *
 		res.Stats.Examined += r.Stats.Examined
 		res.Stats.PrunedDirections += r.Stats.PrunedDirections
 		res.Stats.Recorded += r.Stats.Recorded
+		res.Stats.CorpusHits += r.Stats.CorpusHits
+		res.Stats.CorpusMisses += r.Stats.CorpusMisses
 		res.Stats.PoolHits += r.Stats.PoolHits
 		res.Stats.PoolMisses += r.Stats.PoolMisses
 		res.Stats.VisitedCollisions += r.Stats.VisitedCollisions
@@ -407,7 +437,12 @@ func ExploreBlock(b *ir.Block, cfg Config) *Result {
 	if bud != nil && bud.cancel != nil {
 		defer bud.cancel()
 	}
-	strat.exploreBlock(b, cfg, res, bud)
+	useCorpus := cfg.corpusUsable()
+	sig := ""
+	if useCorpus {
+		sig = cfg.corpusConfigSig()
+	}
+	exploreBlockMemo(strat, b, cfg, res, bud, sig, useCorpus)
 	return res
 }
 

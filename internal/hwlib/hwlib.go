@@ -1,6 +1,9 @@
 package hwlib
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
 
@@ -215,6 +218,29 @@ func (l *Library) ClassDelay(cl Class) float64 {
 		}
 	}
 	return max + 0.01
+}
+
+// Signature returns a content hash over every entry and opcode class, so
+// two Library values with identical cost tables hash identically no matter
+// how they were constructed. It keys memoized exploration results (the
+// corpus): any change to an area, delay, eligibility bit, or class
+// assignment changes the signature and so invalidates every entry derived
+// from the old costs.
+func (l *Library) Signature() string {
+	buf := make([]byte, 0, len(l.entries)*18)
+	for c := range l.entries {
+		e := &l.entries[c]
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Area))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Delay))
+		if e.Allowed {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = append(buf, byte(l.classes[c]))
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
 }
 
 // RoundHalf rounds an area up to the nearest half adder, as the paper does

@@ -1,0 +1,25 @@
+package hwlib
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestSignatureContentKeyed(t *testing.T) {
+	a, b := Default(), Default()
+	if a.Signature() != b.Signature() {
+		t.Fatal("two identically built libraries hashed differently")
+	}
+	if Default().Signature() == MemoryEnabled().Signature() {
+		t.Fatal("changing load eligibility did not change the signature")
+	}
+	tweaked := New(map[ir.Opcode]Entry{ir.Add: {Area: 1.01, Delay: 0.30, Allowed: true}}, nil)
+	if tweaked.Signature() == New(map[ir.Opcode]Entry{ir.Add: {Area: 1.00, Delay: 0.30, Allowed: true}}, nil).Signature() {
+		t.Fatal("changing an area did not change the signature")
+	}
+	withClass := New(nil, map[ir.Opcode]Class{ir.Add: ClassAddSub})
+	if withClass.Signature() == New(nil, nil).Signature() {
+		t.Fatal("changing a class assignment did not change the signature")
+	}
+}

@@ -1,12 +1,15 @@
 package ir
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 )
 
 // Fingerprint returns a canonical content hash of the program: a hex
@@ -28,36 +31,59 @@ import (
 func Fingerprint(p *Program) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "program %q blocks %d\n", p.Name, len(p.Blocks))
+	st := fpPool.Get().(*fpState)
 	for _, b := range p.Blocks {
-		blockFingerprint(h, b)
+		st.blockFingerprint(h, b)
 	}
+	fpPool.Put(st)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fpState is the reusable scratch of one fingerprint computation: a byte
+// buffer the per-op records are serialized into, the per-op 32-byte sums,
+// and the memo/ordinal maps. Pooling it makes Fingerprint allocation-light
+// on the service hot path, where every request is fingerprinted before the
+// cache lookup.
+type fpState struct {
+	buf  []byte
+	sums [][32]byte
+	memo map[*Op][32]byte
+	ords map[*Op]int
+}
+
+var fpPool = sync.Pool{New: func() any {
+	return &fpState{memo: make(map[*Op][32]byte), ords: make(map[*Op]int)}
+}}
+
+func (st *fpState) reset() {
+	st.buf = st.buf[:0]
+	st.sums = st.sums[:0]
+	clear(st.memo)
+	clear(st.ords)
 }
 
 // blockFingerprint writes one block's canonical form: its identity
 // (name, weight, successors) followed by the sorted multiset of per-op
-// structural hashes. Sorting makes the emission order independent of the
+// structural sums. Sorting makes the emission order independent of the
 // ops' positions in b.Ops; program order survives only through the
-// side-effect ordinals embedded in the op hashes themselves.
-func blockFingerprint(w io.Writer, b *Block) {
+// side-effect ordinals embedded in the op sums themselves.
+func (st *fpState) blockFingerprint(w io.Writer, b *Block) {
+	st.reset()
 	// First pass: assign each side-effecting op its ordinal among the
 	// block's side-effecting ops, in program order.
-	ords := make(map[*Op]int)
 	for _, op := range b.Ops {
 		if opIsOrdered(op) {
-			ords[op] = len(ords)
+			st.ords[op] = len(st.ords)
 		}
 	}
-	memo := make(map[*Op]string, len(b.Ops))
-	hashes := make([]string, 0, len(b.Ops))
 	for _, op := range b.Ops {
-		hashes = append(hashes, opFingerprint(op, ords, memo))
+		st.sums = append(st.sums, st.opFingerprint(op))
 	}
-	sort.Strings(hashes)
+	slices.SortFunc(st.sums, func(a, b [32]byte) int { return bytes.Compare(a[:], b[:]) })
 	fmt.Fprintf(w, "block %q weight %g succs %q ops %d\n",
 		b.Name, b.Weight, strings.Join(b.Succs, ","), len(b.Ops))
-	for _, s := range hashes {
-		fmt.Fprintln(w, s)
+	for i := range st.sums {
+		w.Write(st.sums[i][:])
 	}
 }
 
@@ -70,45 +96,258 @@ func opIsOrdered(op *Op) bool {
 	return op.Code.IsMemory() || op.Code.IsBranch()
 }
 
+// Field markers of the serialized op record. Every field is fixed-width or
+// length-prefixed, so the record parses unambiguously front to back; the
+// markers only make the encoding self-describing enough that no two field
+// sequences can collide.
+const (
+	fpCustom byte = 0xF0
+	fpOrd    byte = 0xF1
+	fpArgOp  byte = 0xF2
+	fpArgReg byte = 0xF3
+	fpArgImm byte = 0xF4
+	fpDest   byte = 0xF5
+	fpDests  byte = 0xF6
+	fpArgExt byte = 0xF7 // external input, subgraph fingerprints only
+)
+
 // opFingerprint hashes one op structurally: opcode, side-effect ordinal
 // (when ordered), operands with FromOp references replaced by the
-// producer's hash, and live-out registers. Each op's description embeds
-// its producers' fixed-length hashes rather than their expansions, so
-// shared subexpressions cost O(1) per use and the memoized recursion is
-// linear in the block (blocks are acyclic, so it terminates).
-func opFingerprint(op *Op, ords map[*Op]int, memo map[*Op]string) string {
-	if s, ok := memo[op]; ok {
+// producer's 32-byte sum, and live-out registers. Each op's record embeds
+// its producers' fixed-length sums rather than their expansions, so shared
+// subexpressions cost O(1) per use and the memoized recursion is linear in
+// the block (blocks are acyclic, so it terminates). The record is built on
+// the shared scratch buffer — no intermediate strings — which is what keeps
+// the hot path allocation-light.
+func (st *fpState) opFingerprint(op *Op) [32]byte {
+	if s, ok := st.memo[op]; ok {
 		return s
 	}
-	var sb strings.Builder
-	if op.Code == Custom {
-		fmt.Fprintf(&sb, "custom %q lat %d out %d", op.Custom.Name, op.Custom.Latency, op.Custom.NumOut)
-	} else {
-		sb.WriteString(op.Code.String())
+	// Resolve every producer before building this op's record: the scratch
+	// buffer is shared, so callee appends must finish before ours begin.
+	for _, a := range op.Args {
+		if a.Kind == FromOp {
+			st.opFingerprint(a.X)
+		}
 	}
-	if ord, ok := ords[op]; ok {
-		fmt.Fprintf(&sb, " @%d", ord)
+	b := st.buf[:0]
+	if op.Code == Custom {
+		b = append(b, fpCustom)
+		b = binary.AppendUvarint(b, uint64(len(op.Custom.Name)))
+		b = append(b, op.Custom.Name...)
+		b = binary.AppendVarint(b, int64(op.Custom.Latency))
+		b = binary.AppendVarint(b, int64(op.Custom.NumOut))
+	} else {
+		b = binary.LittleEndian.AppendUint16(b, uint16(op.Code))
+	}
+	if ord, ok := st.ords[op]; ok {
+		b = append(b, fpOrd)
+		b = binary.AppendUvarint(b, uint64(ord))
 	}
 	for _, a := range op.Args {
 		switch a.Kind {
 		case FromOp:
-			fmt.Fprintf(&sb, " (%s.%d)", opFingerprint(a.X, ords, memo), a.Idx)
+			s := st.memo[a.X]
+			b = append(b, fpArgOp)
+			b = append(b, s[:]...)
+			b = binary.AppendVarint(b, int64(a.Idx))
 		case FromReg:
-			fmt.Fprintf(&sb, " r%d", a.Reg)
+			b = append(b, fpArgReg)
+			b = binary.LittleEndian.AppendUint16(b, uint16(a.Reg))
 		default:
-			fmt.Fprintf(&sb, " #%d", a.Val)
+			b = append(b, fpArgImm)
+			b = binary.LittleEndian.AppendUint32(b, a.Val)
 		}
 	}
 	if op.Dest != 0 {
-		fmt.Fprintf(&sb, " ->r%d", op.Dest)
+		b = append(b, fpDest)
+		b = binary.LittleEndian.AppendUint16(b, uint16(op.Dest))
 	}
 	for i, r := range op.Dests {
 		if r != 0 {
-			fmt.Fprintf(&sb, " [%d]->r%d", i, r)
+			b = append(b, fpDests)
+			b = binary.AppendUvarint(b, uint64(i))
+			b = binary.LittleEndian.AppendUint16(b, uint16(r))
 		}
 	}
-	sum := sha256.Sum256([]byte(sb.String()))
-	s := hex.EncodeToString(sum[:])
-	memo[op] = s
-	return s
+	st.buf = b
+	sum := sha256.Sum256(b)
+	st.memo[op] = sum
+	return sum
+}
+
+// SubgraphFingerprint returns a canonical shape hash of the subgraph of b
+// induced by set: the Fingerprint idea extended down from whole programs to
+// candidate subgraphs. The hash identifies the candidate's datapath shape —
+// opcode structure, internal dataflow (including reconvergent fan-out),
+// which member values escape, and how external inputs are shared — while
+// abstracting everything that varies between occurrences of the same
+// kernel: op IDs and block positions of pure ops, concrete register names
+// (external inputs are numbered by first use), and live-out register
+// numbers (only escape-ness matters).
+//
+// Two occurrences of the same shape hash equal — that is what lets the
+// candidate corpus (internal/corpus) group memoized candidates into
+// isomorphism classes compatible with graph.Shape.Signature — and unequal
+// hashes are common for genuinely different datapaths. Like Fingerprint the
+// key is conservative: a false split only fragments corpus statistics,
+// while replay correctness never rides on this hash (the corpus replays
+// under the position-exact block key, not the shape hash).
+func SubgraphFingerprint(b *Block, set OpSet) string {
+	members := set.Sorted()
+	pos := make(map[*Op]int, len(b.Ops))
+	for i, op := range b.Ops {
+		pos[op] = i
+	}
+	inSet := func(x *Op) bool {
+		i, ok := pos[x]
+		return ok && set.Has(i)
+	}
+
+	// External inputs are numbered by first appearance, walking members in
+	// block order and each op's arguments in order, keyed by value identity:
+	// two argument slots reading the same external value share one ordinal,
+	// so reconvergent external fan-in is part of the shape.
+	type extKey struct {
+		kind OperandKind
+		x    *Op
+		idx  int
+		reg  Reg
+	}
+	ext := make(map[extKey]int)
+	extOrd := func(a Operand) int {
+		k := extKey{kind: a.Kind}
+		if a.Kind == FromOp {
+			k.x, k.idx = a.X, a.Idx
+		} else {
+			k.reg = a.Reg
+		}
+		if ord, ok := ext[k]; ok {
+			return ord
+		}
+		ext[k] = len(ext)
+		return ext[k]
+	}
+
+	// Pass 1: side-effect ordinals among members, external-input ordinals,
+	// internal fan-out counts, and escape flags. Escape-ness needs the whole
+	// block: a member escapes when it defines a live-out register or feeds
+	// any op outside the set.
+	ords := make(map[*Op]int)
+	extOf := make(map[*Op][]int, len(members)) // per-member arg ordinals, -1 = internal
+	fanout := make(map[*Op]int)
+	escapes := make(map[*Op]bool, len(members))
+	for _, i := range members {
+		op := b.Ops[i]
+		if opIsOrdered(op) {
+			ords[op] = len(ords)
+		}
+		slots := make([]int, len(op.Args))
+		for ai, a := range op.Args {
+			switch {
+			case a.Kind == FromOp && inSet(a.X):
+				slots[ai] = -1
+				fanout[a.X]++
+			case a.Kind == Imm:
+				slots[ai] = -1
+			default:
+				slots[ai] = extOrd(a)
+			}
+		}
+		extOf[op] = slots
+		e := op.Dest != 0
+		for _, r := range op.Dests {
+			if r != 0 {
+				e = true
+			}
+		}
+		escapes[op] = e
+	}
+	for i, op := range b.Ops {
+		if set.Has(i) {
+			continue
+		}
+		for _, a := range op.Args {
+			if a.Kind == FromOp && inSet(a.X) {
+				escapes[a.X] = true
+			}
+		}
+	}
+
+	// Pass 2: per-member structural sums, memoized over the induced graph.
+	memo := make(map[*Op][32]byte, len(members))
+	var scratch []byte
+	var memberSum func(op *Op) [32]byte
+	memberSum = func(op *Op) [32]byte {
+		if s, ok := memo[op]; ok {
+			return s
+		}
+		for _, a := range op.Args {
+			if a.Kind == FromOp && inSet(a.X) {
+				memberSum(a.X)
+			}
+		}
+		buf := scratch[:0]
+		if op.Code == Custom {
+			buf = append(buf, fpCustom)
+			buf = binary.AppendUvarint(buf, uint64(len(op.Custom.Name)))
+			buf = append(buf, op.Custom.Name...)
+			buf = binary.AppendVarint(buf, int64(op.Custom.Latency))
+			buf = binary.AppendVarint(buf, int64(op.Custom.NumOut))
+		} else {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(op.Code))
+		}
+		if ord, ok := ords[op]; ok {
+			buf = append(buf, fpOrd)
+			buf = binary.AppendUvarint(buf, uint64(ord))
+		}
+		for ai, a := range op.Args {
+			switch {
+			case a.Kind == FromOp && inSet(a.X):
+				s := memo[a.X]
+				buf = append(buf, fpArgOp)
+				buf = append(buf, s[:]...)
+				buf = binary.AppendVarint(buf, int64(a.Idx))
+			case a.Kind == Imm:
+				buf = append(buf, fpArgImm)
+				buf = binary.LittleEndian.AppendUint32(buf, a.Val)
+			default:
+				buf = append(buf, fpArgExt)
+				buf = binary.AppendUvarint(buf, uint64(extOf[op][ai]))
+				if a.Kind == FromOp {
+					buf = binary.AppendVarint(buf, int64(a.Idx))
+				}
+			}
+		}
+		scratch = buf
+		sum := sha256.Sum256(buf)
+		memo[op] = sum
+		return sum
+	}
+
+	// The shape is the sorted multiset of member records: structural sum
+	// plus internal fan-out and escape flag. Fan-out and escape-ness live
+	// outside the recursive sum (a consumer's identity is only known after
+	// its own sum exists), and they are what separates, say, one value
+	// feeding two members from two structurally identical values feeding
+	// one member each.
+	recs := make([][32 + 9]byte, 0, len(members))
+	for _, i := range members {
+		op := b.Ops[i]
+		var rec [32 + 9]byte
+		sum := memberSum(op)
+		copy(rec[:32], sum[:])
+		binary.LittleEndian.PutUint64(rec[32:40], uint64(fanout[op]))
+		if escapes[op] {
+			rec[40] = 1
+		}
+		recs = append(recs, rec)
+	}
+	slices.SortFunc(recs, func(a, b [32 + 9]byte) int { return bytes.Compare(a[:], b[:]) })
+	h := sha256.New()
+	fmt.Fprintf(h, "subgraph ops %d ext %d\n", len(members), len(ext))
+	for i := range recs {
+		h.Write(recs[i][:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,118 @@
+package ir
+
+import "testing"
+
+// macBlock builds a block containing a MAC chain (mul feeding add) at an
+// arbitrary position, padded with unrelated leading ops and spelled with
+// arbitrary register names. The returned set selects the MAC subgraph.
+func macBlock(pad int, rx, ry, rz, rd int) (*Block, OpSet) {
+	p := NewProgram("mac")
+	b := p.AddBlock("hot", 100)
+	for i := 0; i < pad; i++ {
+		b.Def(R(60+i), b.Add(b.Arg(R(40+i)), b.Imm(uint32(i))))
+	}
+	m := b.Mul(b.Arg(R(rx)), b.Arg(R(ry)))
+	s := b.Add(m, b.Arg(R(rz)))
+	b.Def(R(rd), s)
+	set := NewOpSet(pad+0, pad+1)
+	return b, set
+}
+
+func TestSubgraphFingerprintInvariantToPositionAndRegisters(t *testing.T) {
+	b1, s1 := macBlock(0, 1, 2, 3, 9)
+	b2, s2 := macBlock(3, 11, 12, 13, 29)
+	f1, f2 := SubgraphFingerprint(b1, s1), SubgraphFingerprint(b2, s2)
+	if f1 != f2 {
+		t.Fatalf("same MAC shape at different positions/registers hashed differently:\n%s\n%s", f1, f2)
+	}
+}
+
+func TestSubgraphFingerprintSensitiveToOpcode(t *testing.T) {
+	p := NewProgram("x")
+	b := p.AddBlock("hot", 100)
+	m := b.Mul(b.Arg(R(1)), b.Arg(R(2)))
+	b.Def(R(9), b.Add(m, b.Arg(R(3))))
+	q := NewProgram("x")
+	c := q.AddBlock("hot", 100)
+	m2 := c.Mul(c.Arg(R(1)), c.Arg(R(2)))
+	c.Def(R(9), c.Sub(m2, c.Arg(R(3))))
+	if SubgraphFingerprint(b, NewOpSet(0, 1)) == SubgraphFingerprint(c, NewOpSet(0, 1)) {
+		t.Fatal("mul+add and mul+sub subgraphs hashed identically")
+	}
+}
+
+func TestSubgraphFingerprintSensitiveToExternalSharing(t *testing.T) {
+	// xor(a, a) and xor(a, b) differ only in whether the two external
+	// inputs are the same value; the shape hash must separate them because
+	// the input-port arithmetic does.
+	p := NewProgram("x")
+	b := p.AddBlock("hot", 100)
+	b.Def(R(9), b.Xor(b.Arg(R(1)), b.Arg(R(1))))
+	q := NewProgram("x")
+	c := q.AddBlock("hot", 100)
+	c.Def(R(9), c.Xor(c.Arg(R(1)), c.Arg(R(2))))
+	if SubgraphFingerprint(b, NewOpSet(0)) == SubgraphFingerprint(c, NewOpSet(0)) {
+		t.Fatal("shared versus distinct external inputs hashed identically")
+	}
+}
+
+func TestSubgraphFingerprintSensitiveToInternalFanout(t *testing.T) {
+	// Two structurally identical adds where a consumer reads one of them
+	// twice, versus reading each once: same member multiset, different
+	// dataflow. The fan-out counts attached to each member record must
+	// separate the shapes.
+	build := func(reconverge bool) (*Block, OpSet) {
+		p := NewProgram("x")
+		b := p.AddBlock("hot", 100)
+		a1 := b.Add(b.Arg(R(1)), b.Arg(R(2)))
+		a2 := b.Add(b.Arg(R(1)), b.Arg(R(2)))
+		if reconverge {
+			b.Def(R(9), b.Or(a1, a1))
+		} else {
+			b.Def(R(9), b.Or(a1, a2))
+		}
+		_ = a2
+		return b, NewOpSet(0, 1, 2)
+	}
+	b1, s1 := build(true)
+	b2, s2 := build(false)
+	if SubgraphFingerprint(b1, s1) == SubgraphFingerprint(b2, s2) {
+		t.Fatal("reconvergent and parallel fan-out hashed identically")
+	}
+}
+
+func TestSubgraphFingerprintSensitiveToEscapes(t *testing.T) {
+	// The same two-op chain, once with the intermediate value escaping to a
+	// live-out register and once purely internal: output-port shape differs.
+	build := func(escape bool) (*Block, OpSet) {
+		p := NewProgram("x")
+		b := p.AddBlock("hot", 100)
+		m := b.Mul(b.Arg(R(1)), b.Arg(R(2)))
+		if escape {
+			b.Def(R(8), m)
+		}
+		b.Def(R(9), b.Add(m, b.Arg(R(3))))
+		return b, NewOpSet(0, 1)
+	}
+	b1, s1 := build(true)
+	b2, s2 := build(false)
+	if SubgraphFingerprint(b1, s1) == SubgraphFingerprint(b2, s2) {
+		t.Fatal("escaping and internal intermediate hashed identically")
+	}
+}
+
+func TestSubgraphFingerprintIgnoresOutsideOps(t *testing.T) {
+	// Adding unrelated ops elsewhere in the block must not perturb the
+	// subgraph's hash (the whole point: the same kernel recurs inside
+	// different programs).
+	b1, s1 := macBlock(0, 1, 2, 3, 9)
+	p := NewProgram("mac")
+	b2 := p.AddBlock("hot", 100)
+	m := b2.Mul(b2.Arg(R(1)), b2.Arg(R(2)))
+	s := b2.Add(m, b2.Arg(R(3)))
+	b2.Def(R(9), s)
+	b2.Def(R(50), b2.Shl(b2.Arg(R(4)), b2.Imm(3)))
+	if SubgraphFingerprint(b1, s1) != SubgraphFingerprint(b2, NewOpSet(0, 1)) {
+		t.Fatal("unrelated ops outside the set changed the subgraph hash")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package ir
+
+// raceEnabled reports whether the race detector is active. Alloc-count
+// assertions are skipped under -race: the detector instruments sync.Pool
+// (Put may discard, Get then re-allocates), so AllocsPerRun measures the
+// detector, not the fingerprint.
+const raceEnabled = false

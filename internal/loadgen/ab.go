@@ -1,0 +1,72 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+)
+
+// ABResult is a repeated (cold-then-warm) load run: the same spec set
+// fired at the same target several times in sequence, so later passes
+// measure what the service's exploration corpus (and caches) are worth
+// under the exact traffic that populated them.
+type ABResult struct {
+	// Passes holds one Report per pass, in order. Pass 1 is labeled
+	// "cold", later passes "warm" ("warm-2", ... beyond two passes).
+	Passes []*Report `json:"passes"`
+	// BudgetStep is the per-pass budget offset each request carried (see
+	// Runner.RunAB); 0 means warm passes re-sent identical requests and
+	// mostly measured the result cache instead of the corpus.
+	BudgetStep float64 `json:"budget_step"`
+	// MeanSpeedup and P50Speedup compare pass 1 against the last pass
+	// (cold/warm, > 1 means warm was faster), over completed requests.
+	MeanSpeedup float64 `json:"mean_speedup"`
+	P50Speedup  float64 `json:"p50_speedup"`
+}
+
+// Cold and Warm return the first and last pass.
+func (r *ABResult) Cold() *Report { return r.Passes[0] }
+func (r *ABResult) Warm() *Report { return r.Passes[len(r.Passes)-1] }
+
+// RunAB executes the spec set `passes` times in sequence. Pass k adds
+// (k-1)*budgetStep to every spec's area budget: the budget is part of the
+// service's result-cache key but not of its corpus key, so a nonzero step
+// makes warm passes dodge the response cache while still replaying every
+// memoized block — isolating the corpus's contribution. Per-class corpus
+// hit/miss counters ride each pass's report.
+func (r *Runner) RunAB(ctx context.Context, passes int, budgetStep float64) (*ABResult, error) {
+	if passes < 2 {
+		return nil, fmt.Errorf("loadgen: A/B needs at least 2 passes (got %d)", passes)
+	}
+	res := &ABResult{BudgetStep: budgetStep}
+	base := r.Specs
+	defer func() { r.Specs = base }()
+	for pass := 0; pass < passes; pass++ {
+		specs := make([]Spec, len(base))
+		copy(specs, base)
+		for i := range specs {
+			specs[i].Budget += float64(pass) * budgetStep
+		}
+		r.Specs = specs
+		rep, err := r.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case pass == 0:
+			rep.Label = "cold"
+		case pass == 1:
+			rep.Label = "warm"
+		default:
+			rep.Label = fmt.Sprintf("warm-%d", pass)
+		}
+		res.Passes = append(res.Passes, rep)
+	}
+	cold, warm := res.Cold(), res.Warm()
+	if warm.All.MeanMS > 0 {
+		res.MeanSpeedup = cold.All.MeanMS / warm.All.MeanMS
+	}
+	if warm.All.P50MS > 0 {
+		res.P50Speedup = cold.All.P50MS / warm.All.P50MS
+	}
+	return res, nil
+}

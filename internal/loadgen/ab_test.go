@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// abStub emulates a corpus-backed iscd: an exact request body repeat is a
+// result-cache hit (no corpus header — no pipeline ran), while a request
+// for a previously explored benchmark at a new budget reports corpus
+// replays, exactly like the real server's key split (budget in the cache
+// key, not the corpus key).
+func abStub(t *testing.T) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	bodies := map[string]bool{}
+	benches := map[string]bool{}
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var req struct {
+			Benchmark string  `json:"benchmark"`
+			Program   string  `json:"program"`
+			Budget    float64 `json:"budget"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Errorf("stub got bad JSON: %v", err)
+		}
+		bench := req.Benchmark
+		if bench == "" {
+			bench = "program:" + req.Program[:20]
+		}
+		mu.Lock()
+		cached := bodies[string(body)]
+		warmed := benches[bench]
+		bodies[string(body)] = true
+		benches[bench] = true
+		mu.Unlock()
+		switch {
+		case cached:
+			w.Header().Set("X-Iscd-Cache", "hit")
+		case warmed:
+			w.Header().Set("X-Iscd-Cache", "miss")
+			w.Header().Set("X-Iscd-Corpus", "hits=3 misses=0")
+		default:
+			w.Header().Set("X-Iscd-Cache", "miss")
+			w.Header().Set("X-Iscd-Corpus", "hits=0 misses=3")
+		}
+		w.Write([]byte(`{"speedup":1.5}`))
+	}))
+}
+
+func TestRunABWarmVsCold(t *testing.T) {
+	stub := abStub(t)
+	defer stub.Close()
+	spec, err := ParseSpec("slo=gold,rate=500,n=20,bench=crc+sha,arrivals=uniform,budget=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Target: stub.URL, Specs: []Spec{spec}, Seed: 3}
+	ab, err := r.RunAB(context.Background(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Passes) != 2 {
+		t.Fatalf("passes = %d, want 2", len(ab.Passes))
+	}
+	cold, warm := ab.Cold(), ab.Warm()
+	if cold.Label != "cold" || warm.Label != "warm" {
+		t.Fatalf("labels = %q, %q", cold.Label, warm.Label)
+	}
+	// Cold pass: first request per benchmark misses the corpus, repeats of
+	// the identical body are cache hits; nothing is replayed.
+	if cold.All.CorpusHits != 0 {
+		t.Errorf("cold pass replayed %d blocks, want 0", cold.All.CorpusHits)
+	}
+	if cold.All.CorpusMisses == 0 {
+		t.Error("cold pass recorded no corpus misses")
+	}
+	// Warm pass: the budget step dodges the result cache, so every first
+	// send per benchmark is a fresh run that replays the corpus.
+	if warm.All.CorpusHits == 0 {
+		t.Error("warm pass recorded no corpus hits")
+	}
+	if warm.All.CorpusMisses != 0 {
+		t.Errorf("warm pass missed the corpus %d times, want 0", warm.All.CorpusMisses)
+	}
+	// Per-class attribution: the counters land on the gold row.
+	if len(warm.Classes) != 1 || warm.Classes[0].Class != "gold" || warm.Classes[0].CorpusHits != warm.All.CorpusHits {
+		t.Errorf("per-class corpus attribution: %+v", warm.Classes)
+	}
+	if ab.MeanSpeedup <= 0 || ab.P50Speedup <= 0 {
+		t.Errorf("speedups not computed: mean %.2f p50 %.2f", ab.MeanSpeedup, ab.P50Speedup)
+	}
+	// The runner's spec set is restored after the run.
+	if r.Specs[0].Budget != 8 {
+		t.Errorf("runner specs mutated: budget %g, want 8", r.Specs[0].Budget)
+	}
+}
+
+func TestRunABRejectsSinglePass(t *testing.T) {
+	r := &Runner{Target: "http://unused", Specs: []Spec{{}}}
+	if _, err := r.RunAB(context.Background(), 1, 1); err == nil {
+		t.Fatal("RunAB accepted a single pass")
+	}
+}

@@ -139,6 +139,9 @@ func (r *Runner) fire(ctx context.Context, client *http.Client, timeout time.Dur
 	if v := resp.Header.Get("X-Isccluster-Failovers"); v != "" {
 		o.Failovers, _ = strconv.Atoi(v)
 	}
+	if v := resp.Header.Get("X-Iscd-Corpus"); v != "" {
+		fmt.Sscanf(v, "hits=%d misses=%d", &o.CorpusHits, &o.CorpusMisses)
+	}
 	// The response encoder is deterministic (MarshalIndent): a truncated
 	// result always carries this exact marker.
 	o.Truncated = bytes.Contains(respBody, []byte(`"truncated": true`))

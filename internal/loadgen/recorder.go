@@ -27,6 +27,12 @@ type Outcome struct {
 	// against a bare iscd).
 	Attempts  int
 	Failovers int
+	// CorpusHits and CorpusMisses come from the X-Iscd-Corpus header: how
+	// many blocks the replica replayed from (or searched into) its
+	// exploration corpus for this request. Both zero on cache hits (no
+	// pipeline ran) and against corpus-free replicas.
+	CorpusHits   int
+	CorpusMisses int
 }
 
 // ClassStats aggregates outcomes for one SLO class (or the whole run).
@@ -50,6 +56,11 @@ type ClassStats struct {
 	// replica switches.
 	Retries   int `json:"retries"`
 	Failovers int `json:"failovers"`
+	// CorpusHits and CorpusMisses sum the per-request X-Iscd-Corpus
+	// counters: blocks replayed from (vs searched into) the replicas'
+	// exploration corpora on behalf of this class.
+	CorpusHits   int `json:"corpus_hits"`
+	CorpusMisses int `json:"corpus_misses"`
 	// Latency quantiles in milliseconds over all completed (non-transport-
 	// error) requests.
 	P50MS  float64 `json:"p50_ms"`
@@ -147,6 +158,8 @@ func buildClass(name string, outcomes []Outcome) ClassStats {
 			st.Retries += o.Attempts - 1
 		}
 		st.Failovers += o.Failovers
+		st.CorpusHits += o.CorpusHits
+		st.CorpusMisses += o.CorpusMisses
 		if o.Status != 0 {
 			ms := float64(o.Latency) / float64(time.Millisecond)
 			lat = append(lat, ms)

@@ -156,7 +156,10 @@ func (s *Server) handleHDL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := req.cacheKey("hdl", p)
-	s.serveCached(w, r, key, func() (int, []byte) { return s.runHDL(req, p, key) })
+	s.serveCached(w, r, key, func() (int, []byte, string) {
+		st, b := s.runHDL(req, p, key)
+		return st, b, ""
+	})
 }
 
 // runHDL generates the machine description, lowers every selected CFU to
@@ -192,6 +195,9 @@ func (s *Server) runHDL(req Request, p *ir.Program, key string) (status int, bod
 	cfg.Workers = s.cfg.MaxConcurrent
 	cfg.Spare = s.tokens
 	cfg.Telemetry = s.tel
+	// The corpus warms /v1/hdl too (same exploration, same keys); only the
+	// X-Iscd-Corpus header is a /v1/customize-only affordance.
+	cfg.Corpus = s.cfg.Corpus
 	m, err := core.GenerateMDES(p, cfg)
 	if err != nil {
 		s.tel.Add("server.errors", 1)

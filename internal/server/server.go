@@ -16,6 +16,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/experiment"
 	"repro/internal/explore"
 	"repro/internal/faultinject"
@@ -56,6 +57,12 @@ type Config struct {
 	// Telemetry receives the server's counters, gauges and spans (nil = a
 	// fresh registry, which /metrics renders either way).
 	Telemetry *telemetry.Registry
+	// Corpus, when non-nil, memoizes per-block exploration across requests
+	// (and, when disk-backed, across restarts). Replies stay byte-identical
+	// to corpus-free runs; the X-Iscd-Corpus response header reports how
+	// many blocks a fresh run replayed versus searched, GET /v1/corpus
+	// serves the store's stats, and /metrics grows iscd_corpus_* gauges.
+	Corpus *corpus.Corpus
 }
 
 // Server is the customization service: the full paper pipeline behind an
@@ -82,6 +89,10 @@ type call struct {
 	done   chan struct{}
 	status int
 	body   []byte
+	// corpus is the X-Iscd-Corpus header value of the leader's run ("" =
+	// no corpus attached). It rides the header, never the body: cached
+	// bytes must stay byte-identical however the result was produced.
+	corpus string
 }
 
 // New returns a ready-to-serve Server.
@@ -102,6 +113,9 @@ func New(cfg Config) *Server {
 	if tel == nil {
 		tel = telemetry.New("iscd")
 	}
+	if cfg.Corpus != nil {
+		cfg.Corpus.SetTelemetry(tel)
+	}
 	s := &Server{
 		cfg:      cfg,
 		tel:      tel,
@@ -115,6 +129,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("/v1/customize", s.handleCustomize)
 	s.mux.HandleFunc("/v1/hdl", s.handleHDL)
+	s.mux.HandleFunc("/v1/corpus", s.handleCorpus)
 	return s
 }
 
@@ -246,6 +261,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	fmt.Fprintf(&sb, "iscd_draining %d\n", draining)
+	// The corpus gauges are always present when a corpus is attached, zero
+	// or not, so dashboards can join them with the X-Iscd-Corpus header and
+	// GET /v1/corpus without special-casing a fresh store.
+	if s.cfg.Corpus != nil {
+		cs := s.cfg.Corpus.Stats()
+		fmt.Fprintf(&sb, "iscd_corpus_enabled 1\n")
+		fmt.Fprintf(&sb, "iscd_corpus_entries %d\n", cs.Entries)
+		fmt.Fprintf(&sb, "iscd_corpus_hits %d\n", cs.Hits)
+		fmt.Fprintf(&sb, "iscd_corpus_misses %d\n", cs.Misses)
+		fmt.Fprintf(&sb, "iscd_corpus_inserts %d\n", cs.Inserts)
+		fmt.Fprintf(&sb, "iscd_corpus_evictions %d\n", cs.Evictions)
+		fmt.Fprintf(&sb, "iscd_corpus_shape_classes %d\n", cs.ShapeClasses)
+		fmt.Fprintf(&sb, "iscd_corpus_segments %d\n", cs.Segments)
+		fmt.Fprintf(&sb, "iscd_corpus_disk_bytes %d\n", cs.DiskBytes)
+		fmt.Fprintf(&sb, "iscd_corpus_append_errors %d\n", cs.AppendErrors)
+	} else {
+		fmt.Fprintf(&sb, "iscd_corpus_enabled 0\n")
+	}
 	snap.WritePrometheus(&sb, "iscd")
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, sb.String())
@@ -331,7 +364,36 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := req.cacheKey("customize", p)
-	s.serveCached(w, r, key, func() (int, []byte) { return s.run(req, p, key) })
+	s.serveCached(w, r, key, func() (int, []byte, string) { return s.run(req, p, key) })
+}
+
+// handleCorpus is GET /v1/corpus: the exploration corpus's statistics —
+// occupancy, hit/miss/insert/eviction counters, disk segment accounting,
+// and the top isomorphism classes by accumulated savings. A server with no
+// corpus attached reports {"enabled": false} rather than 404 so probes can
+// tell "no corpus" from "no such replica".
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "want GET")
+		return
+	}
+	resp := CorpusStatus{Replica: s.cfg.Name}
+	if s.cfg.Corpus != nil {
+		resp.Enabled = true
+		st := s.cfg.Corpus.Stats()
+		resp.Stats = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// CorpusStatus is the JSON body of GET /v1/corpus.
+type CorpusStatus struct {
+	// Replica names the serving replica, like /healthz.
+	Replica string `json:"replica"`
+	// Enabled reports whether a corpus is attached at all.
+	Enabled bool `json:"enabled"`
+	// Stats is the store's live statistics (absent when disabled).
+	Stats *corpus.Stats `json:"stats,omitempty"`
 }
 
 // serveCached is the shared caching front end of every pipeline-backed
@@ -341,7 +403,10 @@ func (s *Server) handleCustomize(w http.ResponseWriter, r *http.Request) {
 // X-Iscd-Cache response header says how the reply was produced ("hit",
 // "miss", or "coalesced") without perturbing the cached body bytes.
 // Caching the result (or not, for truncated responses) is `work`'s job.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, work func() (int, []byte)) {
+// `work`'s third return is the X-Iscd-Corpus header value ("" = none),
+// which rides the response header — of the leader and of every coalesced
+// follower — but never the cached body bytes.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, work func() (int, []byte, string)) {
 	if cached, ok := s.cache.get(key); ok {
 		s.tel.Add("server.cache.hit", 1)
 		w.Header().Set("X-Iscd-Cache", "hit")
@@ -357,6 +422,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		select {
 		case <-c.done:
 			w.Header().Set("X-Iscd-Cache", "coalesced")
+			if c.corpus != "" {
+				w.Header().Set("X-Iscd-Corpus", c.corpus)
+			}
 			writeRaw(w, c.status, c.body)
 		case <-r.Context().Done():
 			// The follower's client went away; the leader keeps running.
@@ -379,7 +447,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	s.tel.MaxGauge("server.inflight.max", float64(len(s.inflight)))
 	s.mu.Unlock()
 
-	c.status, c.body = work()
+	c.status, c.body, c.corpus = work()
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -388,6 +456,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	s.wg.Done()
 
 	w.Header().Set("X-Iscd-Cache", "miss")
+	if c.corpus != "" {
+		w.Header().Set("X-Iscd-Corpus", c.corpus)
+	}
 	writeRaw(w, c.status, c.body)
 }
 
@@ -396,7 +467,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 // coalesced follower must not die with the leader's connection) and
 // bounded only by the request deadline; expiry surfaces as a truncated
 // best-so-far response via the anytime-budget machinery.
-func (s *Server) run(req Request, p *ir.Program, key string) (status int, body []byte) {
+func (s *Server) run(req Request, p *ir.Program, key string) (status int, body []byte, corpusHdr string) {
 	defer s.tel.StartSpan("server.customize")()
 	defer func() {
 		if r := recover(); r != nil {
@@ -422,7 +493,7 @@ func (s *Server) run(req Request, p *ir.Program, key string) (status int, body [
 	// still yields a truncated best-so-far response within its deadline.
 	if err := faultinject.Fire("server", p.Name); err != nil {
 		s.tel.Add("server.faults", 1)
-		return marshalError(http.StatusInternalServerError, err)
+		return errReply(http.StatusInternalServerError, err)
 	}
 
 	// Admission: hold one pipeline token for the duration of the run. A
@@ -435,17 +506,21 @@ func (s *Server) run(req Request, p *ir.Program, key string) (status int, body [
 
 	cfg, err := req.ToConfig()
 	if err != nil {
-		return marshalError(http.StatusBadRequest, err)
+		return errReply(http.StatusBadRequest, err)
 	}
 	cfg.Ctx = ctx
 	cfg.Workers = s.cfg.MaxConcurrent
 	cfg.Spare = s.tokens
 	cfg.Telemetry = s.tel
+	cfg.Corpus = s.cfg.Corpus
 
 	res, err := core.Customize(p, cfg)
 	if err != nil {
 		s.tel.Add("server.errors", 1)
-		return marshalError(http.StatusInternalServerError, err)
+		return errReply(http.StatusInternalServerError, err)
+	}
+	if s.cfg.Corpus != nil {
+		corpusHdr = fmt.Sprintf("hits=%d misses=%d", res.CorpusHits, res.CorpusMisses)
 	}
 	resp := Response{
 		Source:    res.Report.Source,
@@ -456,7 +531,7 @@ func (s *Server) run(req Request, p *ir.Program, key string) (status int, body [
 	}
 	b, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {
-		return marshalError(http.StatusInternalServerError, err)
+		return errReply(http.StatusInternalServerError, err)
 	}
 	b = append(b, '\n')
 	if resp.Truncated {
@@ -468,7 +543,14 @@ func (s *Server) run(req Request, p *ir.Program, key string) (status int, body [
 		s.cache.put(key, b)
 		s.tel.Add("server.cache.store", 1)
 	}
-	return http.StatusOK, b
+	return http.StatusOK, b, corpusHdr
+}
+
+// errReply is marshalError widened to serveCached's work signature: error
+// replies never carry an X-Iscd-Corpus header.
+func errReply(status int, err error) (int, []byte, string) {
+	st, b := marshalError(status, err)
+	return st, b, ""
 }
 
 func marshalError(status int, err error) (int, []byte) {
