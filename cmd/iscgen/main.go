@@ -20,6 +20,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/hdl"
 	"repro/internal/hwlib"
+	"repro/internal/synth"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
@@ -29,6 +30,7 @@ func main() {
 	log.SetPrefix("iscgen: ")
 	bench := flag.String("bench", "", "benchmark name; one of: "+fmt.Sprint(workloads.Names()))
 	asmPath := flag.String("asm", "", "read the program from an assembly file instead of -bench")
+	synthSpec := flag.String("synth", "", "generate a seeded synthetic program instead of -bench/-asm; colon-separated key=value spec (e.g. seed=3:blocks=8:ops=512), \"default\" for the defaults")
 	budget := flag.Float64("budget", 15, "CFU area budget in adder units")
 	mode := flag.String("mode", "greedy", "selection heuristic: greedy, value, or dp")
 	strategy := flag.String("strategy", "enumerate", "exploration strategy: "+fmt.Sprint(explore.Strategies()))
@@ -40,7 +42,7 @@ func main() {
 	jobs := flag.Int("j", 1, "worker goroutines for block-level exploration (output is identical at every setting)")
 	deadline := flag.Duration("deadline", 0, "exploration wall-clock budget (0 = none); on expiry the best-so-far candidates are selected and the MDES is tagged truncated")
 	maxCands := flag.Int("max-candidates", 0, "cap on candidate subgraphs recorded (0 = unlimited); hitting it tags the MDES truncated")
-	hwPath := flag.String("hwlib", "", "JSON hardware library (default: built-in 0.18u calibration)")
+	hwPath := flag.String("hwlib", "", "JSON hardware library, or the built-in name \"dsp16\" (16-bit-multiplier video calibration; default: the 0.18u calibration)")
 	dumpHW := flag.Bool("dumphwlib", false, "print the built-in hardware library as JSON and exit")
 	verilog := flag.String("verilog", "", "also emit the selected CFUs as Verilog to this path")
 	trace := flag.String("trace", "", "write a structured telemetry dump (JSON) to this file; a per-stage summary goes to stderr")
@@ -67,11 +69,11 @@ func main() {
 		return
 	}
 
-	if *bench == "" && *asmPath == "" {
+	if *bench == "" && *asmPath == "" && *synthSpec == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	b, err := loadProgram(*bench, *asmPath)
+	b, err := loadProgram(*bench, *asmPath, *synthSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -178,9 +180,29 @@ func main() {
 	}
 }
 
-// loadProgram resolves the -bench / -asm flags to a benchmark.
-func loadProgram(bench, asmPath string) (*workloads.Benchmark, error) {
-	return workloads.Load(bench, asmPath)
+// loadProgram resolves the -bench / -asm / -synth flags to a benchmark.
+func loadProgram(bench, asmPath, synthSpec string) (*workloads.Benchmark, error) {
+	if synthSpec == "" {
+		return workloads.Load(bench, asmPath)
+	}
+	if bench != "" || asmPath != "" {
+		return nil, fmt.Errorf("give one of -bench, -asm or -synth, not several")
+	}
+	if synthSpec == "default" {
+		synthSpec = ""
+	}
+	spec, err := synth.ParseSpec(synthSpec)
+	if err != nil {
+		return nil, err
+	}
+	p, err := synth.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &workloads.Benchmark{
+		Name: p.Name, Domain: "synthetic",
+		Description: "generated from spec " + spec.String(), Program: p,
+	}, nil
 }
 
 func openFile(path string) (io.ReadCloser, error) { return os.Open(path) }

@@ -36,7 +36,7 @@ func main() {
 	multifunc := flag.Bool("multifunc", false, "multi-function CFU study (paper's future work)")
 	unroll := flag.Bool("unroll", false, "loop-unrolling study")
 	memcfu := flag.Bool("memcfu", false, "relaxed-memory CFU study (paper's future work)")
-	shootout := flag.Bool("shootout", false, "strategy shootout: every exploration strategy on the 13 benchmarks plus the large unrolled DFG, quality vs wall-clock")
+	shootout := flag.Bool("shootout", false, "strategy shootout: every exploration strategy on the 16 benchmarks plus the large unrolled and synthetic DFGs, quality vs wall-clock")
 	strategy := flag.String("strategy", "enumerate", "exploration strategy for the studies: "+fmt.Sprint(explore.Strategies()))
 	costModel := flag.String("cost", "area", "guide cost model: "+fmt.Sprint(explore.CostModels()))
 	seed := flag.Int64("seed", 0, "restart-schedule seed for -strategy improve (deterministic per value)")

@@ -5,35 +5,45 @@
 //
 // Usage:
 //
-//	iscsweep                 # native curves, all four domains
-//	iscsweep -cross          # cross-compilation curves too
-//	iscsweep -domain audio   # restrict to one domain
+//	iscsweep                         # native curves, all five domains
+//	iscsweep -cross                  # cross-compilation curves too
+//	iscsweep -domain audio           # restrict to one domain
+//	iscsweep -synth seed=3:ops=512   # sweep one seeded synthetic program
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
+	"repro/internal/cfu"
 	"repro/internal/corpus"
 	"repro/internal/experiment"
 	"repro/internal/explore"
+	"repro/internal/hwlib"
+	"repro/internal/synth"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
+func openFile(path string) (io.ReadCloser, error) { return os.Open(path) }
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iscsweep: ")
-	domain := flag.String("domain", "", "restrict to one domain (encryption, network, audio, image)")
+	domain := flag.String("domain", "", "restrict to one domain (encryption, network, audio, image, video)")
 	cross := flag.Bool("cross", false, "also produce the cross-compilation curves")
 	maxBudget := flag.Int("maxbudget", 15, "largest area budget in adders")
 	strategy := flag.String("strategy", "enumerate", "exploration strategy: "+fmt.Sprint(explore.Strategies()))
 	costModel := flag.String("cost", "area", "guide cost model: "+fmt.Sprint(explore.CostModels()))
 	seed := flag.Int64("seed", 0, "restart-schedule seed for -strategy improve (deterministic per value)")
-	shootout := flag.Bool("shootout", false, "run the strategy comparison instead of the Figure 7 sweep: every strategy on the 13 benchmarks plus the large unrolled DFG, with quality-vs-wallclock columns")
+	shootout := flag.Bool("shootout", false, "run the strategy comparison instead of the Figure 7 sweep: every strategy on the 16 benchmarks plus the large unrolled and synthetic DFGs, with quality-vs-wallclock columns")
+	synthSpec := flag.String("synth", "", "sweep one seeded synthetic program instead of the benchmark suite; colon-separated key=value spec (e.g. seed=3:blocks=8:ops=512), \"default\" for the defaults")
+	hwPath := flag.String("hwlib", "", "JSON hardware library, or the built-in name \"dsp16\" (16-bit-multiplier video calibration; default: the 0.18u calibration)")
+	mode := flag.String("mode", "greedy", "selection heuristic: greedy, value, or dp")
 	verify := flag.Bool("verify", false, "verify every compile in the functional simulator")
 	deadline := flag.Duration("deadline", 0, "per-benchmark exploration wall-clock budget (0 = none); on expiry the best-so-far candidates are used and curves are marked [truncated]")
 	maxCands := flag.Int("max-candidates", 0, "cap on candidate subgraphs recorded per benchmark (0 = unlimited); hitting it marks curves [truncated]")
@@ -72,6 +82,21 @@ func main() {
 		log.Fatal(err)
 	}
 	h := experiment.NewHarness()
+	lib, err := hwlib.LoadOrDefault(openFile, *hwPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h.Lib = lib
+	switch *mode {
+	case "greedy":
+		h.SelectMode = cfu.GreedyRatio
+	case "value":
+		h.SelectMode = cfu.GreedyValue
+	case "dp":
+		h.SelectMode = cfu.Knapsack
+	default:
+		log.Fatalf("unknown selection mode %q", *mode)
+	}
 	h.Verify = *verify
 	h.Parallelism = *jobs
 	h.Telemetry = tel
@@ -92,6 +117,34 @@ func main() {
 		h.Corpus = store
 	}
 	start := time.Now()
+
+	if *synthSpec != "" {
+		text := *synthSpec
+		if text == "default" {
+			text = ""
+		}
+		spec, err := synth.ParseSpec(text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := synth.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h.RegisterBenchmark(&workloads.Benchmark{
+			Name: p.Name, Domain: "synthetic",
+			Description: "generated from spec " + spec.String(), Program: p,
+		})
+		log.Printf("synthetic program %s: %s", p.Name, synth.Sizes(p))
+		res, err := h.Sweep(p.Name, p.Name, budgets)
+		title := fmt.Sprintf("Synthetic sweep: %s speedup vs CFU cost", p.Name)
+		experiment.RenderSweeps(os.Stdout, title, []*experiment.SweepResult{res})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("synthetic sweep wall-clock %v", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *shootout {
 		inputs, err := experiment.ShootoutInputs()

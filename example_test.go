@@ -26,7 +26,7 @@ func Example() {
 	// speedup over the VLIW baseline: true
 }
 
-// ExampleBenchmark looks up one of the paper's 13 seed benchmarks and
+// ExampleBenchmark looks up one of the 16 seed benchmarks and
 // inspects its program.
 func ExampleBenchmark() {
 	bench, err := repro.Benchmark("crc")

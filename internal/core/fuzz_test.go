@@ -108,7 +108,7 @@ func TestFuzzCustomizeSemantics(t *testing.T) {
 // input surface: for any input that parses at all, print → parse → print
 // must reach a fixed point (the printed form is canonical), the reparse
 // must never fail, and nothing may panic. The corpus seeds are all
-// thirteen benchmark programs printed through asm.Write, so `go test`
+// sixteen benchmark programs printed through asm.Write, so `go test`
 // already round-trips every real workload; `go test -fuzz=FuzzASMRoundTrip
 // ./internal/core` explores mutations from there.
 func FuzzASMRoundTrip(f *testing.F) {

@@ -139,6 +139,19 @@ func (h *Harness) Benchmark(name string) (*workloads.Benchmark, error) {
 	return v, err
 }
 
+// RegisterBenchmark installs a pre-built benchmark — typically an
+// internal/synth program — into the benchmark cache under b.Name, so every
+// harness surface (Sweep, CompileOn, the studies) accepts the name exactly
+// like a seed workload. Register before any exploration under that name:
+// the downstream candidate/MDES memos key on the name and are not evicted.
+func (h *Harness) RegisterBenchmark(b *workloads.Benchmark) {
+	c := &memoCell[*workloads.Benchmark]{val: b}
+	c.once.Do(func() {})
+	h.mu.Lock()
+	h.benches[b.Name] = c
+	h.mu.Unlock()
+}
+
 // Candidates runs exploration + combination for the named benchmark once,
 // no matter how many workers ask for it concurrently.
 func (h *Harness) Candidates(name string) ([]*cfu.CFU, error) {

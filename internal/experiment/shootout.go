@@ -1,6 +1,7 @@
 // Strategy shootout: every registered exploration strategy run under
-// identical budgets over the 13 seed benchmarks plus a deliberately large
-// unrolled DFG, producing quality-versus-wallclock rows. The shootout is
+// identical budgets over the 16 seed benchmarks plus a deliberately large
+// unrolled DFG and a seeded synthetic stress DFG, producing
+// quality-versus-wallclock rows. The shootout is
 // the repo's testbed harness for comparing ISE discovery algorithms — the
 // enumerative grower is the quality reference, and the iterative-improvement
 // engine is the raw speed play on the blocks where enumeration blows up.
@@ -16,6 +17,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/ir"
 	"repro/internal/mdes"
+	"repro/internal/synth"
 	"repro/internal/workloads"
 )
 
@@ -37,9 +39,10 @@ type ShootoutInput struct {
 	Program *ir.Program
 }
 
-// ShootoutInputs returns the shootout's program list: the paper's 13 seed
-// benchmarks plus the large unrolled DFG (ShootoutUnrollApp unrolled by
-// ShootoutUnrollFactor).
+// ShootoutInputs returns the shootout's program list: the 16 seed
+// benchmarks, the large unrolled DFG (ShootoutUnrollApp unrolled by
+// ShootoutUnrollFactor), and the synthetic stress program
+// (synth.StressSpec), which reaches DFG sizes no hand-lowered kernel can.
 func ShootoutInputs() ([]*ShootoutInput, error) {
 	var out []*ShootoutInput
 	for _, b := range workloads.All() {
@@ -57,6 +60,11 @@ func ShootoutInputs() ([]*ShootoutInput, error) {
 		Name:    fmt.Sprintf("%s-x%d", ShootoutUnrollApp, ShootoutUnrollFactor),
 		Program: up,
 	})
+	sp, err := synth.Generate(synth.StressSpec())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, &ShootoutInput{Name: sp.Name, Program: sp})
 	return out, nil
 }
 

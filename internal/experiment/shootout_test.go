@@ -71,30 +71,31 @@ func TestStrategyShootoutRows(t *testing.T) {
 	}
 }
 
-// TestShootoutInputsIncludeLargeDFG pins the shootout's stress input: the
-// 13 seed benchmarks plus the unrolled DFG, which must be strictly larger
-// than its base program.
+// TestShootoutInputsIncludeLargeDFG pins the shootout's stress inputs: the
+// 16 seed benchmarks plus the unrolled DFG (strictly larger than its base
+// program) plus the synthetic stress DFG (larger still).
 func TestShootoutInputsIncludeLargeDFG(t *testing.T) {
 	inputs, err := ShootoutInputs()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := len(workloads.All()) + 1; len(inputs) != want {
+	if want := len(workloads.All()) + 2; len(inputs) != want {
 		t.Fatalf("inputs = %d, want %d", len(inputs), want)
 	}
-	last := inputs[len(inputs)-1]
-	if last.Name != "sha-x16" {
-		t.Fatalf("stress input named %q", last.Name)
+	unrolled := inputs[len(inputs)-2]
+	if unrolled.Name != "sha-x16" {
+		t.Fatalf("unrolled stress input named %q", unrolled.Name)
 	}
 	base, _ := workloads.ByName(ShootoutUnrollApp)
-	baseOps, bigOps := 0, 0
-	for _, b := range base.Program.Blocks {
-		baseOps += len(b.Ops)
-	}
-	for _, b := range last.Program.Blocks {
-		bigOps += len(b.Ops)
-	}
-	if bigOps < 8*baseOps {
+	baseOps := base.Program.NumOps()
+	if bigOps := unrolled.Program.NumOps(); bigOps < 8*baseOps {
 		t.Fatalf("unrolled DFG has %d ops, base %d — not a large-DFG stress input", bigOps, baseOps)
+	}
+	syn := inputs[len(inputs)-1]
+	if syn.Name != "synth-stress" {
+		t.Fatalf("synthetic stress input named %q", syn.Name)
+	}
+	if got := syn.Program.NumOps(); got < 2000 {
+		t.Fatalf("synthetic stress DFG has %d ops, want >= 2000", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hwlib"
 	"repro/internal/ir"
+	"repro/internal/synth"
 	"repro/internal/workloads"
 )
 
@@ -62,6 +63,26 @@ func BenchmarkImproveLargeDFG(b *testing.B) {
 	p := largeDFG(b)
 	cfg := DefaultConfig(hwlib.Default())
 	cfg.Strategy = StrategyImprove
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Explore(p, cfg)
+		if res.Stats.Examined == 0 {
+			b.Fatal("explored nothing")
+		}
+	}
+}
+
+// BenchmarkSynthLargeDFG measures valve-bounded enumerative growth on the
+// seeded synthetic stress DFG (internal/synth), the largest input in the
+// suite — the regime the generator exists to stress.
+func BenchmarkSynthLargeDFG(b *testing.B) {
+	p, err := synth.Generate(synth.StressSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(hwlib.Default())
+	cfg.MaxExamined = 50000
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

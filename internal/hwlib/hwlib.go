@@ -169,6 +169,23 @@ func MemoryEnabled() *Library {
 	return l
 }
 
+// DSP16 returns the default library with the multiplier swapped for a
+// 16x16-bit DSP-style unit: a quarter of the 32-bit array's area at just
+// over a cycle of delay, so a standalone multiply still takes two issue
+// cycles but folds into one inside a chained CFU. This is the calibration
+// the video/vision workloads assume — pixel and coefficient operands are
+// at most 16 bits wide, which is what lets a BiRISCV-style MADD custom
+// instruction pay for itself. Under Default's full 32-bit multiplier (18
+// adders, 1.6 cycles) no multiply-containing CFU is ever worth selecting
+// at the paper's 1-15 adder budgets; under DSP16 the convolution
+// multiply-add chains select normally. Load it in the tools with
+// -hwlib dsp16.
+func DSP16() *Library {
+	l := Default()
+	l.entries[ir.Mul] = Entry{Area: 4.5, Delay: 1.10, Allowed: true}
+	return l
+}
+
 // Area implements ir.CostModel.
 func (l *Library) Area(c ir.Opcode) float64 { return l.entries[c].Area }
 

@@ -99,11 +99,15 @@ func ReadJSON(r io.Reader) (*Library, error) {
 	return New(entries, classes), nil
 }
 
-// LoadOrDefault reads a library from path, or returns the default library
-// when path is empty.
+// LoadOrDefault reads a library from path, or returns a built-in: the
+// default library when path is empty, the 16-bit-multiplier video
+// calibration for the reserved name "dsp16".
 func LoadOrDefault(open func(string) (io.ReadCloser, error), path string) (*Library, error) {
-	if path == "" {
+	switch path {
+	case "":
 		return Default(), nil
+	case "dsp16":
+		return DSP16(), nil
 	}
 	f, err := open(path)
 	if err != nil {

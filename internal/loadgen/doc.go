@@ -12,8 +12,9 @@
 //
 // A run is a set of Specs (one per client class: SLO, rate, arrival
 // process, benchmark mix, request count) executed concurrently against
-// one target URL. The benchmark mix spans the 13 seed benchmarks plus
-// synthetic unrolled variants ("sha-x16") that ship as iscasm program
+// one target URL. The benchmark mix spans the 16 seed benchmarks plus
+// synthetic variants — unrolled ("sha-x16") and generated
+// ("synth:<spec>", see internal/synth) — that ship as iscasm program
 // text. Every response is folded into a Report: p50/p99/p999 latency,
 // error/shed/truncation/cache-hit counts, and the retry/failover/degrade
 // attribution the cluster surfaces in X-Isccluster-* headers — per SLO

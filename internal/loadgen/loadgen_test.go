@@ -37,9 +37,9 @@ func TestParseSpecDefaults(t *testing.T) {
 	if spec.SLO != "silver" || spec.Name != "silver" || spec.Arrivals != ArrivalPoisson || spec.Budget != 5 {
 		t.Errorf("defaults: %+v", spec)
 	}
-	// Default mix: 13 seed benchmarks + sha-x16.
-	if len(spec.Benchmarks) != 14 {
-		t.Errorf("default mix has %d entries, want 14: %v", len(spec.Benchmarks), spec.Benchmarks)
+	// Default mix: 16 seed benchmarks + sha-x16.
+	if len(spec.Benchmarks) != 17 {
+		t.Errorf("default mix has %d entries, want 17: %v", len(spec.Benchmarks), spec.Benchmarks)
 	}
 	found := false
 	for _, b := range spec.Benchmarks {
@@ -98,6 +98,32 @@ func TestRequestBodySyntheticBenchmark(t *testing.T) {
 	}
 	if !strings.Contains(string(body), `"slo":"bronze"`) {
 		t.Errorf("body missing slo: %.120s", body)
+	}
+}
+
+// A synth:<spec> mix entry must generate the program, serialize it as
+// text, and reject bad specs at parse time like any other bad benchmark.
+func TestRequestBodySynthBenchmark(t *testing.T) {
+	spec, err := ParseSpec("rate=5,n=1,bench=synth:seed=3:blocks=2:ops=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := spec.requestBody(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"program":`) || strings.Contains(string(body), `"benchmark"`) {
+		t.Errorf("synth body does not carry program text: %.120s", body)
+	}
+	again, err := spec.requestBody(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(again) {
+		t.Error("synth program text not deterministic across requests")
+	}
+	if _, err := ParseSpec("rate=5,n=1,bench=synth:bogus=1"); err == nil {
+		t.Error("bad synth spec accepted")
 	}
 }
 

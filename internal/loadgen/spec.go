@@ -10,6 +10,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/experiment"
 	"repro/internal/ir"
+	"repro/internal/synth"
 	"repro/internal/workloads"
 )
 
@@ -31,9 +32,10 @@ type Spec struct {
 	Arrivals string
 	Shape    float64
 	// Benchmarks is the request mix, drawn uniformly per request. Entries
-	// are seed benchmark names or synthetic unrolled variants like
-	// "sha-x16" (sent as iscasm program text). Empty = every seed
-	// benchmark plus sha-x16.
+	// are seed benchmark names, unrolled variants like "sha-x16", or
+	// seeded synthetic programs like "synth:seed=3:blocks=8:ops=512"
+	// (both sent as iscasm program text). Empty = every seed benchmark
+	// plus sha-x16.
 	Benchmarks []string
 	// Requests is how many arrivals to fire (required, > 0).
 	Requests int
@@ -126,9 +128,10 @@ func (s Spec) withDefaults() (Spec, error) {
 	return s, nil
 }
 
-// DefaultMix is the standard request mix: the paper's 13 seed benchmarks
-// plus the sha-x16 large unrolled DFG (the shootout's stress input),
-// which exercises the anytime machinery at any deadline.
+// DefaultMix is the standard request mix: the 16 seed benchmarks (the
+// paper's 13 plus the video domain) and the sha-x16 large unrolled DFG
+// (the shootout's stress input), which exercises the anytime machinery at
+// any deadline.
 func DefaultMix() []string {
 	mix := workloads.Names()
 	mix = append(mix, fmt.Sprintf("%s-x%d", experiment.ShootoutUnrollApp, experiment.ShootoutUnrollFactor))
@@ -144,11 +147,36 @@ var (
 )
 
 // resolveBenchmark turns a mix entry into request fields: a plain seed
-// benchmark name, or ("", text) for a synthetic "<name>-x<k>" unrolled
-// variant shipped as program text.
+// benchmark name, or ("", text) for a generated variant shipped as program
+// text — either an unrolled "<name>-x<k>" or a seeded synthetic
+// "synth:<spec>" (internal/synth wire form; its colon-separated grammar
+// has no commas or plus signs, so it nests inside spec fields and mixes).
 func resolveBenchmark(name string) (body struct{ Benchmark, Program string }, err error) {
 	if _, err := workloads.ByName(name); err == nil {
 		body.Benchmark = name
+		return body, nil
+	}
+	if specText, ok := strings.CutPrefix(name, "synth:"); ok {
+		programMu.Lock()
+		defer programMu.Unlock()
+		if text, ok := programCache[name]; ok {
+			body.Program = text
+			return body, nil
+		}
+		spec, err := synth.ParseSpec(specText)
+		if err != nil {
+			return body, err
+		}
+		p, err := synth.Generate(spec)
+		if err != nil {
+			return body, err
+		}
+		var sb strings.Builder
+		if err := asm.Write(&sb, p); err != nil {
+			return body, fmt.Errorf("serializing %q: %v", name, err)
+		}
+		programCache[name] = sb.String()
+		body.Program = sb.String()
 		return body, nil
 	}
 	base, factorText, ok := strings.Cut(name, "-x")

@@ -10,7 +10,7 @@
 //
 //	POST /v1/customize   run the pipeline on a named seed benchmark or an
 //	                     iscasm program; returns the MDES + speedup report
-//	GET  /v1/benchmarks  list the paper's thirteen seed benchmarks
+//	GET  /v1/benchmarks  list the sixteen seed benchmarks
 //	GET  /healthz        liveness ("ok" or "draining")
 //	GET  /metrics        telemetry counters/gauges/spans, Prometheus-style
 //

@@ -19,7 +19,8 @@ import (
 // differ only in how they spell a default (budget 0 versus budget 15)
 // normalize to the same cache key.
 type Request struct {
-	// Benchmark names one of the paper's thirteen seed benchmarks.
+	// Benchmark names one of the sixteen seed benchmarks (the paper's
+	// thirteen plus the video domain).
 	Benchmark string `json:"benchmark,omitempty"`
 	// Program is an application in iscasm assembly text.
 	Program string `json:"program,omitempty"`

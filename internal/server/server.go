@@ -189,7 +189,8 @@ type errorResponse struct {
 
 // BenchmarkInfo is one entry of GET /v1/benchmarks.
 type BenchmarkInfo struct {
-	// Name and Domain identify the benchmark (paper order, four domains).
+	// Name and Domain identify the benchmark (registration order, five
+	// domains).
 	Name   string `json:"name"`
 	Domain string `json:"domain"`
 	// Description says which kernel(s) were lowered.

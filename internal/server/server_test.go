@@ -299,8 +299,8 @@ func TestBenchmarksEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 13 {
-		t.Fatalf("got %d benchmarks, want the paper's 13", len(out))
+	if len(out) != 16 {
+		t.Fatalf("got %d benchmarks, want the paper's 13 plus 3 video", len(out))
 	}
 	if out[0].Name != "blowfish" || out[0].Domain != "encryption" || out[0].Ops == 0 {
 		t.Errorf("unexpected first benchmark: %+v", out[0])

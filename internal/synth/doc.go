@@ -1,0 +1,24 @@
+// Package synth generates seeded synthetic dataflow graphs for stress
+// testing the customization pipeline at sizes the hand-lowered benchmarks
+// (internal/workloads) cannot reach: the largest seed kernel is ~400 ops,
+// while synthetic programs go to ~131072. That is the regime where
+// exhaustive candidate enumeration separates measurably from iterative
+// improvement, which is what the strategy shootout and the LargeDFG
+// explore benchmarks exercise.
+//
+// A Spec fixes every generation parameter — block count, ops per block,
+// operand fan-in locality window, live-in/live-out register density,
+// opcode mix — plus a PRNG seed. Generation is deterministic: the same
+// Spec always produces a byte-identical ir.Program (identical
+// internal/asm text), because the seeded PRNG is the only entropy source
+// and is consumed in a fixed order. Every generated program passes
+// ir.Validate; the FuzzSynth target in CI holds that property over
+// arbitrary parsed specs.
+//
+// The wire form is colon-separated key=value pairs ("seed=3:blocks=8:
+// ops=512:mul=20"), parsed by ParseSpec with DefaultSpec defaults. It
+// deliberately contains no commas or plus signs so a spec nests inside
+// internal/loadgen mix specs as bench=synth:<spec>. The iscgen and
+// iscsweep CLIs accept it via -synth, and cmd/iscsynth emits the
+// generated program as iscasm text for iscload or any -asm consumer.
+package synth

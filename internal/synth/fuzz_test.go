@@ -1,0 +1,42 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// FuzzSynth holds the generator's contract over arbitrary spec text: any
+// spec ParseSpec accepts must generate (within the size limits the spec
+// already passed), the result must satisfy every ir.Validate invariant,
+// and generation must be deterministic.
+func FuzzSynth(f *testing.F) {
+	f.Add("")
+	f.Add("seed=3:blocks=8:ops=512")
+	f.Add("fanin=1:livein=16:liveout=16:mem=50")
+	f.Add("alu=0:mul=1:shift=0:cmp=0:sel=0:mem=0")
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		// Keep the fuzz loop fast; scale coverage is in the unit tests.
+		if spec.Blocks*spec.Ops > 4096 {
+			return
+		}
+		p, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("accepted spec %q failed to generate: %v", text, err)
+		}
+		if err := ir.Validate(p); err != nil {
+			t.Fatalf("spec %q generated invalid program: %v", text, err)
+		}
+		q, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != q.String() {
+			t.Fatalf("spec %q not deterministic", text)
+		}
+	})
+}

@@ -1,17 +1,24 @@
-// Package workloads provides the paper's 13 benchmarks (§5, Table 1) as IR
-// programs: blowfish, crc, des3, md5, rijndael, sha (encryption); url,
-// df/dh/dr routing kernels (network); and gsmencode, mpeg2dec/enc-style
-// media kernels. The paper ran MiBench/NetBench/MediaBench sources through
+// Package workloads provides the benchmark suite as IR programs: the
+// paper's 13 benchmarks (§5, Table 1) — blowfish, rijndael, sha
+// (encryption); crc, ipchains, url (network); gsmdecode, gsmencode,
+// rawcaudio, rawdaudio (audio); cjpeg, djpeg, mpeg2dec (image) — plus a
+// fifth video/vision domain (mpeg2enc, edgedetect, h264deblock) modeled on
+// the custom-op set a BiRISCV case study found profitable: SAD for motion
+// estimation, multiply-add for convolution, bit-reverse, and branchless
+// clip chains. The paper ran MiBench/NetBench/MediaBench sources through
 // the Trimaran toolchain; that infrastructure is unavailable, so these are
 // the real kernels hand-lowered to the generic RISC IR with modeled
-// profile weights (DESIGN.md §2). What matters for reproducing the paper's
-// trends is preserved: the domains differ structurally (wide logical-op
-// dataflow in encryption, short address-arithmetic chains in network,
-// multiply-accumulate chains in media), which is what drives the
-// per-domain speedup differences in Figure 7.
+// profile weights (DESIGN.md §2, docs/WORKLOADS.md for the full catalog).
+// What matters for reproducing the paper's trends is preserved: the
+// domains differ structurally (wide logical-op dataflow in encryption,
+// short address-arithmetic chains in network, multiply-accumulate chains
+// in media, select/clip-dominated dataflow in video), which is what drives
+// the per-domain speedup differences in Figure 7.
 //
 // Main entry points: ByName / All / Names / Domains enumerate the suite
 // (the service's GET /v1/benchmarks is a thin view over All); Load reads
 // an external .iscasm benchmark; OpMix summarizes a program's opcode
-// distribution for the workload-characterization tables.
+// distribution for the workload-characterization tables. For synthetic
+// stress programs far larger than any of these kernels, see
+// internal/synth.
 package workloads

@@ -1,0 +1,198 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Memory layout for the video kernels.
+const (
+	vidRef  uint32 = 0x000A0000 // reference frame (motion search window)
+	vidCur  uint32 = 0x000A4000 // current macroblock
+	vidOut  uint32 = 0x000A8000 // filtered / reconstructed output
+	vidHist uint32 = 0x000B0000 // gradient histogram bins
+)
+
+// vidStride is the modeled luma row stride of the video frames.
+const vidStride = 16
+
+// absDiff emits |x - y| branchlessly: subtract, test the sign, and select
+// the negation. This four-op cluster is the repeated unit of every SAD
+// kernel and exactly the shape the BiRISCV exemplar's SAD custom
+// instruction hardwires.
+func absDiff(b *ir.Block, x, y ir.Operand) ir.Operand {
+	d := b.Sub(x, y)
+	neg := b.CmpLtS(d, b.Imm(0))
+	return b.Select(neg, b.Rsb(d, b.Imm(0)), d)
+}
+
+// MPEG2Enc builds the mpeg2enc benchmark: the encoder-side motion
+// estimation loop. The hot block is a full 4x4-block sum of absolute
+// differences (the operation the BiRISCV exemplar accelerates 1.33x with a
+// SAD custom instruction), plus half-pel interpolation and the VLC
+// bitstream writer's CRC-style bit-reverse.
+func MPEG2Enc() *ir.Program {
+	p := ir.NewProgram("mpeg2enc")
+
+	// SAD over a 4x4 block: 16 reference/current byte pairs, absolute
+	// differences accumulated into one sum, compared against the best
+	// candidate so far (the search loop's early exit).
+	b := p.AddBlock("sad4x4", 240000)
+	refp := b.Arg(ir.R(1))
+	curp := b.Arg(ir.R(2))
+	var sad ir.Operand
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			off := b.Imm(uint32(vidStride*r + c))
+			rv := b.LoadB(b.Add(refp, off))
+			cv := b.LoadB(b.Add(curp, off))
+			ad := absDiff(b, rv, cv)
+			if r == 0 && c == 0 {
+				sad = ad
+			} else {
+				sad = b.Add(sad, ad)
+			}
+		}
+	}
+	b.Def(ir.R(3), sad)
+	b.BranchIf(b.CmpLtU(sad, b.Arg(ir.R(4))))
+
+	// Half-pel interpolation: pred = (a + b + 1) >> 1 over four adjacent
+	// pixels (the sub-pel refinement step around the best integer vector).
+	h := p.AddBlock("halfpel", 180000)
+	hp := h.Arg(ir.R(1))
+	for i := 0; i < 4; i++ {
+		a := h.LoadB(h.Add(hp, h.Imm(uint32(i))))
+		c := h.LoadB(h.Add(hp, h.Imm(uint32(i+1))))
+		avg := h.Shr(h.Add(h.Add(a, c), h.Imm(1)), h.Imm(1))
+		h.StoreB(h.Imm(vidOut+uint32(i)), avg)
+	}
+
+	// VLC bitstream writer: CRC-style bit reversal of the 32-bit code word
+	// via the five classic mask-and-shift stages (BiRISCV's bit-reverse
+	// custom op collapses this whole chain).
+	v := p.AddBlock("bitrev", 120000)
+	w := v.Arg(ir.R(1))
+	rev := func(sh uint32, mask uint32) {
+		lo := v.And(v.Shr(w, v.Imm(sh)), v.Imm(mask))
+		hi := v.Shl(v.And(w, v.Imm(mask)), v.Imm(sh))
+		w = v.Or(lo, hi)
+	}
+	rev(1, 0x55555555)
+	rev(2, 0x33333333)
+	rev(4, 0x0F0F0F0F)
+	rev(8, 0x00FF00FF)
+	w = v.Or(v.Shr(w, v.Imm(16)), v.Shl(w, v.Imm(16)))
+	v.Def(ir.R(1), w)
+
+	return p
+}
+
+// Convolution kernel: a sharpening Laplacian (center weight 12, eight
+// neighbours -1), applied fixed-point with a >>3 renormalization.
+const convCenter = 12
+
+// EdgeDetect builds the edgedetect benchmark: the vision front end of a
+// video pipeline. The hot block is a 3x3 multiply-add convolution filter
+// (the BiRISCV exemplar's MADD custom op), followed by gradient magnitude
+// with a branchless threshold, and a memory-bound histogram update.
+func EdgeDetect() *ir.Program {
+	p := ir.NewProgram("edgedetect")
+
+	// 3x3 convolution: nine taps, each a multiply-add into the
+	// accumulator; renormalize, clamp to pixel range, store.
+	b := p.AddBlock("conv3x3", 200000)
+	src := b.Arg(ir.R(1))
+	var acc ir.Operand
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			px := b.LoadB(b.Add(src, b.ImmS(int32(dy*vidStride+dx))))
+			k := int32(-1)
+			if dy == 0 && dx == 0 {
+				k = convCenter
+			}
+			t := b.Mul(px, b.ImmS(k))
+			if dy == -1 && dx == -1 {
+				acc = t
+			} else {
+				acc = b.Add(acc, t)
+			}
+		}
+	}
+	out := clampRange(b, b.Sar(acc, b.Imm(2)), 0, 255)
+	b.StoreB(b.Arg(ir.R(2)), out)
+
+	// Gradient magnitude: |gx| + |gy| with a branchless binarization
+	// against the edge threshold.
+	g := p.AddBlock("gradmag", 150000)
+	gx := g.Arg(ir.R(3))
+	gy := g.Arg(ir.R(4))
+	mag := g.Add(absDiff(g, gx, g.Imm(0)), absDiff(g, gy, g.Imm(0)))
+	edge := g.Select(g.CmpLtU(g.Arg(ir.R(5)), mag), g.Imm(255), g.Imm(0))
+	g.Def(ir.R(6), mag)
+	g.StoreB(g.Imm(vidOut+0x100), edge)
+
+	// Edge-direction histogram: load-increment-store on a computed bin —
+	// the memory-and-branch-bound tail of the vision kernels.
+	hb := p.AddBlock("histogram", 90000)
+	bin := hb.Shr(hb.Arg(ir.R(6)), hb.Imm(5))
+	slot := hb.Add(hb.Imm(vidHist), hb.Shl(bin, hb.Imm(2)))
+	count := hb.Load(slot)
+	hb.Store(slot, hb.Add(count, hb.Imm(1)))
+	hb.BranchIf(hb.CmpLtU(bin, hb.Imm(15)))
+
+	return p
+}
+
+// H264Deblock builds the h264deblock benchmark: the in-loop deblocking
+// filter, dominated by branchless clip chains. The hot block runs the
+// standard luma edge filter (clip3 of the filter delta, then pixel-range
+// clamps); the strength block is the pure-compare bs decision; the chroma
+// block is the short strong filter.
+func H264Deblock() *ir.Program {
+	p := ir.NewProgram("h264deblock")
+
+	// Luma edge: delta = clip3(-c0, c0, ((q0-p0)*4 + (p1-q1) + 4) >> 3);
+	// p0' = clamp(p0 + delta), q0' = clamp(q0 - delta).
+	b := p.AddBlock("lumaedge", 220000)
+	ptr := b.Arg(ir.R(1))
+	c0 := b.Arg(ir.R(2))
+	p1 := b.LoadB(b.Add(ptr, b.ImmS(-2)))
+	p0 := b.LoadB(b.Add(ptr, b.ImmS(-1)))
+	q0 := b.LoadB(ptr)
+	q1 := b.LoadB(b.Add(ptr, b.Imm(1)))
+	t := b.Add(b.Shl(b.Sub(q0, p0), b.Imm(2)), b.Sub(p1, q1))
+	raw := b.Sar(b.Add(t, b.Imm(4)), b.Imm(3))
+	negc0 := b.Rsb(c0, b.Imm(0))
+	d1 := b.Select(b.CmpLtS(raw, negc0), negc0, raw)
+	delta := b.Select(b.CmpLtS(c0, d1), c0, d1)
+	p0n := clampRange(b, b.Add(p0, delta), 0, 255)
+	q0n := clampRange(b, b.Sub(q0, delta), 0, 255)
+	b.StoreB(b.Add(ptr, b.ImmS(-1)), p0n)
+	b.StoreB(ptr, q0n)
+
+	// Boundary-strength decision: three absolute differences against the
+	// alpha/beta thresholds, folded into one filter-enable flag.
+	s := p.AddBlock("strength", 160000)
+	sp1 := s.Arg(ir.R(1))
+	sp0 := s.Arg(ir.R(2))
+	sq0 := s.Arg(ir.R(3))
+	sq1 := s.Arg(ir.R(4))
+	alpha := s.Arg(ir.R(5))
+	beta := s.Arg(ir.R(6))
+	fa := s.CmpLtU(absDiff(s, sp0, sq0), alpha)
+	fb := s.CmpLtU(absDiff(s, sp1, sp0), beta)
+	fc := s.CmpLtU(absDiff(s, sq1, sq0), beta)
+	filt := s.And(fa, s.And(fb, fc))
+	s.Def(ir.R(7), filt)
+	s.BranchIf(s.CmpEq(filt, s.Imm(0)))
+
+	// Chroma strong filter: p0' = (2*p1 + p0 + q1 + 2) >> 2, clamped.
+	c := p.AddBlock("chroma", 120000)
+	cptr := c.Arg(ir.R(1))
+	cp1 := c.LoadB(c.Add(cptr, c.ImmS(-2)))
+	cp0 := c.LoadB(c.Add(cptr, c.ImmS(-1)))
+	cq1 := c.LoadB(c.Add(cptr, c.Imm(1)))
+	sum := c.Add(c.Add(c.Shl(cp1, c.Imm(1)), cp0), c.Add(cq1, c.Imm(2)))
+	cout := clampRange(c, c.Shr(sum, c.Imm(2)), 0, 255)
+	c.StoreB(c.Add(cptr, c.ImmS(-1)), cout)
+
+	return p
+}

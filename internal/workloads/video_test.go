@@ -1,0 +1,246 @@
+package workloads
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// loadByte mirrors the simulator's LoadB semantics for reference code:
+// little-endian byte at addr, zero extended.
+func loadByte(st *sim.State, addr uint32) uint32 {
+	return st.LoadWord(addr) & 0xFF
+}
+
+func TestSAD4x4Reference(t *testing.T) {
+	prog := MPEG2Enc()
+	blk := prog.Block("sad4x4")
+	const seed = 77
+	st := sim.NewState(seed)
+	st.Regs[ir.R(1)] = vidRef
+	st.Regs[ir.R(2)] = vidCur
+	st.Regs[ir.R(4)] = 10000 // best-so-far SAD
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := sim.NewState(seed)
+	var sad uint32
+	for r := uint32(0); r < 4; r++ {
+		for c := uint32(0); c < 4; c++ {
+			a := int32(loadByte(ref, vidRef+vidStride*r+c))
+			b := int32(loadByte(ref, vidCur+vidStride*r+c))
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			sad += uint32(d)
+		}
+	}
+	if st.Regs[ir.R(3)] != sad {
+		t.Fatalf("sad = %d, want %d", st.Regs[ir.R(3)], sad)
+	}
+	wantTaken := uint32(0)
+	if sad < 10000 {
+		wantTaken = 1
+	}
+	if st.BranchTaken != wantTaken {
+		t.Fatalf("early-exit branch = %d, want %d (sad %d)", st.BranchTaken, wantTaken, sad)
+	}
+}
+
+func TestHalfPelReference(t *testing.T) {
+	prog := MPEG2Enc()
+	blk := prog.Block("halfpel")
+	const seed = 31
+	st := sim.NewState(seed)
+	st.Regs[ir.R(1)] = vidRef
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+	ref := sim.NewState(seed)
+	for i := uint32(0); i < 4; i++ {
+		a := loadByte(ref, vidRef+i)
+		b := loadByte(ref, vidRef+i+1)
+		want := byte((a + b + 1) >> 1)
+		if got := st.Stores[vidOut+i]; got != want {
+			t.Errorf("halfpel[%d] = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestBitReverseReference(t *testing.T) {
+	prog := MPEG2Enc()
+	blk := prog.Block("bitrev")
+	for _, in := range []uint32{0, 1, 0xDEADBEEF, 0x80000000, 0x12345678} {
+		st := sim.NewState(1)
+		st.Regs[ir.R(1)] = in
+		if err := sim.RunBlock(blk, st); err != nil {
+			t.Fatal(err)
+		}
+		if want := bits.Reverse32(in); st.Regs[ir.R(1)] != want {
+			t.Errorf("bitrev(%#x) = %#x, want %#x", in, st.Regs[ir.R(1)], want)
+		}
+	}
+}
+
+func TestConv3x3Reference(t *testing.T) {
+	prog := EdgeDetect()
+	blk := prog.Block("conv3x3")
+	const seed = 93
+	st := sim.NewState(seed)
+	st.Regs[ir.R(1)] = vidCur + 4*vidStride + 4 // interior pixel
+	st.Regs[ir.R(2)] = vidOut + 0x40
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+	ref := sim.NewState(seed)
+	src := vidCur + 4*vidStride + 4
+	var acc int32
+	for dy := int32(-1); dy <= 1; dy++ {
+		for dx := int32(-1); dx <= 1; dx++ {
+			px := int32(loadByte(ref, uint32(int32(src)+dy*vidStride+dx)))
+			k := int32(-1)
+			if dy == 0 && dx == 0 {
+				k = convCenter
+			}
+			acc += px * k
+		}
+	}
+	out := acc >> 2
+	if out < 0 {
+		out = 0
+	}
+	if out > 255 {
+		out = 255
+	}
+	if got := st.Stores[vidOut+0x40]; got != byte(out) {
+		t.Fatalf("conv3x3 = %#x, want %#x", got, byte(out))
+	}
+}
+
+func TestGradMagThreshold(t *testing.T) {
+	prog := EdgeDetect()
+	blk := prog.Block("gradmag")
+	for _, tc := range []struct {
+		gx, gy, thresh uint32
+		mag            uint32
+		edge           byte
+	}{
+		{10, 0xFFFFFFF6, 15, 20, 255}, // gy = -10; |10| + |-10| = 20 > 15
+		{3, 4, 15, 7, 0},
+		{0, 0, 0, 0, 0},
+	} {
+		st := sim.NewState(5)
+		st.Regs[ir.R(3)] = tc.gx
+		st.Regs[ir.R(4)] = tc.gy
+		st.Regs[ir.R(5)] = tc.thresh
+		if err := sim.RunBlock(blk, st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Regs[ir.R(6)] != tc.mag {
+			t.Errorf("mag(%d,%d) = %d, want %d", tc.gx, tc.gy, st.Regs[ir.R(6)], tc.mag)
+		}
+		if got := st.Stores[vidOut+0x100]; got != tc.edge {
+			t.Errorf("edge(%d,%d,%d) = %d, want %d", tc.gx, tc.gy, tc.thresh, got, tc.edge)
+		}
+	}
+}
+
+func TestDeblockLumaReference(t *testing.T) {
+	prog := H264Deblock()
+	blk := prog.Block("lumaedge")
+	const seed = 41
+	const c0 = 4
+	st := sim.NewState(seed)
+	st.Regs[ir.R(1)] = vidCur + 8
+	st.Regs[ir.R(2)] = c0
+	if err := sim.RunBlock(blk, st); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := sim.NewState(seed)
+	ptr := uint32(vidCur + 8)
+	p1 := int32(loadByte(ref, ptr-2))
+	p0 := int32(loadByte(ref, ptr-1))
+	q0 := int32(loadByte(ref, ptr))
+	q1 := int32(loadByte(ref, ptr+1))
+	clip := func(v, lo, hi int32) int32 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	delta := clip(((q0-p0)*4+(p1-q1)+4)>>3, -c0, c0)
+	wantP0 := byte(clip(p0+delta, 0, 255))
+	wantQ0 := byte(clip(q0-delta, 0, 255))
+	if got := st.Stores[ptr-1]; got != wantP0 {
+		t.Errorf("p0' = %#x, want %#x", got, wantP0)
+	}
+	if got := st.Stores[ptr]; got != wantQ0 {
+		t.Errorf("q0' = %#x, want %#x", got, wantQ0)
+	}
+}
+
+func TestDeblockStrengthDecision(t *testing.T) {
+	prog := H264Deblock()
+	blk := prog.Block("strength")
+	for _, tc := range []struct {
+		p1, p0, q0, q1, alpha, beta uint32
+		filt                        uint32
+	}{
+		{100, 102, 104, 103, 10, 5, 1}, // all diffs small: filter on
+		{100, 102, 140, 103, 10, 5, 0}, // |p0-q0| = 38 >= alpha: off
+		{100, 120, 104, 103, 10, 5, 0}, // |p1-p0| = 20 >= beta: off
+	} {
+		st := sim.NewState(9)
+		st.Regs[ir.R(1)] = tc.p1
+		st.Regs[ir.R(2)] = tc.p0
+		st.Regs[ir.R(3)] = tc.q0
+		st.Regs[ir.R(4)] = tc.q1
+		st.Regs[ir.R(5)] = tc.alpha
+		st.Regs[ir.R(6)] = tc.beta
+		if err := sim.RunBlock(blk, st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Regs[ir.R(7)] != tc.filt {
+			t.Errorf("strength%+v = %d, want %d", tc, st.Regs[ir.R(7)], tc.filt)
+		}
+	}
+}
+
+// TestVideoDomainStructure pins the structural claim of the new domain:
+// the SAD/convolution/clip kernels are select-rich, ALU-leaning dataflow
+// (that is what makes the MADD/SAD/bit-reverse CFU shapes discoverable),
+// not branch-bound decode loops like the image decoders.
+func TestVideoDomainStructure(t *testing.T) {
+	doms := Domains()
+	if len(doms[DomainVideo]) != 3 {
+		t.Fatalf("video domain has %d benchmarks, want 3", len(doms[DomainVideo]))
+	}
+	for _, b := range doms[DomainVideo] {
+		mix := OpMix(b.Program)
+		if mix["alu"] <= mix["memory"]+mix["branch"] {
+			t.Errorf("%s: alu ops %d not dominant over memory+branch %d",
+				b.Name, mix["alu"], mix["memory"]+mix["branch"])
+		}
+	}
+	selects := 0
+	for _, b := range doms[DomainVideo] {
+		for _, blk := range b.Program.Blocks {
+			for _, op := range blk.Ops {
+				if op.Code == ir.Select {
+					selects++
+				}
+			}
+		}
+	}
+	if selects < 20 {
+		t.Errorf("video domain has %d selects, want the clip/abs chains (>= 20)", selects)
+	}
+}

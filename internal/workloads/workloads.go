@@ -18,15 +18,17 @@ type Benchmark struct {
 	Program     *ir.Program
 }
 
-// Domain names, matching the paper's four categories.
+// Domain names: the paper's four categories plus the video/vision
+// extension domain (ROADMAP; the BiRISCV custom-instruction exemplar).
 const (
 	DomainEncryption = "encryption"
 	DomainNetwork    = "network"
 	DomainAudio      = "audio"
 	DomainImage      = "image"
+	DomainVideo      = "video"
 )
 
-// builders in registration order: encryption, network, audio, image.
+// builders in registration order: encryption, network, audio, image, video.
 var builders = []struct {
 	name, domain, desc string
 	build              func() *ir.Program
@@ -44,6 +46,9 @@ var builders = []struct {
 	{"cjpeg", DomainImage, "JPEG forward DCT and quantization", CJpeg},
 	{"djpeg", DomainImage, "JPEG inverse DCT and range limit", DJpeg},
 	{"mpeg2dec", DomainImage, "MPEG-2 IDCT, saturation and motion compensation", MPEG2Dec},
+	{"mpeg2enc", DomainVideo, "MPEG-2 motion-estimation SAD, half-pel interpolation, VLC bit-reverse", MPEG2Enc},
+	{"edgedetect", DomainVideo, "3x3 multiply-add convolution, gradient magnitude, edge histogram", EdgeDetect},
+	{"h264deblock", DomainVideo, "H.264 deblocking: luma clip chains, strength decision, chroma filter", H264Deblock},
 }
 
 // All returns every benchmark, freshly built.
@@ -113,9 +118,10 @@ func Domains() map[string][]*Benchmark {
 	return m
 }
 
-// DomainNames returns the four domains in the paper's order.
+// DomainNames returns the five domains: the paper's four in its order,
+// then the video extension.
 func DomainNames() []string {
-	return []string{DomainEncryption, DomainNetwork, DomainAudio, DomainImage}
+	return []string{DomainEncryption, DomainNetwork, DomainAudio, DomainImage, DomainVideo}
 }
 
 // OpMix is a census of a program's opcode usage, used in tests to check

@@ -9,8 +9,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("benchmarks = %d, want 13", len(all))
+	if len(all) != 16 {
+		t.Fatalf("benchmarks = %d, want 16", len(all))
 	}
 	counts := map[string]int{}
 	for _, b := range all {
@@ -22,16 +22,17 @@ func TestRegistry(t *testing.T) {
 			t.Fatalf("program name %q != benchmark name %q", b.Program.Name, b.Name)
 		}
 	}
-	// Paper: 3 encryption, 3 network, 4 audio, 3 image.
+	// Paper: 3 encryption, 3 network, 4 audio, 3 image; plus 3 video.
 	want := map[string]int{
 		DomainEncryption: 3, DomainNetwork: 3, DomainAudio: 4, DomainImage: 3,
+		DomainVideo: 3,
 	}
 	for d, n := range want {
 		if counts[d] != n {
 			t.Errorf("domain %s: %d benchmarks, want %d", d, counts[d], n)
 		}
 	}
-	if len(Names()) != 13 || len(DomainNames()) != 4 {
+	if len(Names()) != 16 || len(DomainNames()) != 5 {
 		t.Fatal("names/domains lists wrong")
 	}
 	if _, err := ByName("blowfish"); err != nil {
